@@ -1,0 +1,27 @@
+"""Table I — multi-core STL execution: stalls due to the memory subsystem.
+
+Paper numbers (average over several executions): IF stalls grow
+200,679 -> 717,538 -> 1,878,336 clock cycles and MEM stalls
+117,965 -> 305,801 -> 663,386 as 1 -> 2 -> 3 cores run the STL in
+parallel.  The reproduced claim is the *shape*: both stall categories
+grow super-linearly with the number of active cores, and instruction
+fetch dominates ("the major source of stalls is the instruction fetch
+unit ... a direct consequence of the higher bus contention").
+"""
+
+from repro.analysis import table1_stalls
+
+
+def test_table1_stalls(benchmark, emit):
+    result = benchmark.pedantic(
+        table1_stalls, kwargs={"repeat": 4}, rounds=1, iterations=1
+    )
+    emit(result.render())
+    rows = {r.active_cores: r for r in result.rows}
+    # Super-linear growth of IF stalls with the active-core count.
+    assert rows[2].total_if_stalls > 2 * rows[1].total_if_stalls
+    assert rows[3].total_if_stalls > 1.5 * rows[2].total_if_stalls
+    # MEM stalls grow too, but fetch dominates, as in the paper.
+    assert rows[3].total_mem_stalls > rows[1].total_mem_stalls
+    for row in result.rows:
+        assert row.total_if_stalls > row.total_mem_stalls

@@ -1,0 +1,33 @@
+"""Table IV — TCM-based versus cache-based execution strategy.
+
+Paper: for the imprecise-interrupt routine, the TCM strategy reserves
+2,874 bytes of I-TCM forever and runs in 16,463 cycles; the cache-based
+strategy reserves **zero** bytes and runs in 18,043 cycles (~1,580
+cycles / 8.25 us at 180 MHz slower).  The reproduced claim is the
+memory-overhead trade-off: TCM permanently sacrifices scratchpad
+proportional to the routine size while the cache-based strategy has no
+memory footprint at all.
+
+Honest divergence: in this repository's memory model the cache-based
+variant is also *faster*, because the I-cache fills stream whole flash
+lines per array access while the TCM copy loop pays a bus transaction
+per word.  On the paper's silicon the copy was cheaper than the extra
+loading-loop execution, giving TCM a ~9 % speed edge; the trade-off
+direction on the time axis is therefore memory-system-dependent (see
+EXPERIMENTS.md).
+"""
+
+from repro.analysis import table4_tcm_vs_cache
+
+
+def test_table4_tcm_vs_cache(benchmark, emit):
+    result = benchmark.pedantic(table4_tcm_vs_cache, rounds=1, iterations=1)
+    emit(result.render())
+    rows = {r.approach: r for r in result.rows}
+    # The paper's headline: zero memory overhead for the cache strategy,
+    # a routine-sized permanent TCM reservation for the alternative.
+    assert rows["Cache-based"].memory_overhead_bytes == 0
+    assert rows["TCM-based"].memory_overhead_bytes >= 2000
+    # Both complete in the same order of magnitude of cycles.
+    ratio = rows["TCM-based"].execution_cycles / rows["Cache-based"].execution_cycles
+    assert 0.05 < ratio < 20

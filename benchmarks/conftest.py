@@ -1,0 +1,24 @@
+"""Benchmark support: un-captured report printing + result archiving."""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def emit(capsys, request):
+    """Print a rendered experiment table through the capture barrier and
+    archive it under ``benchmarks/results/``."""
+
+    def _emit(text: str) -> None:
+        with capsys.disabled():
+            print(f"\n{text}\n")
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{request.node.name}.txt"
+        path.write_text(text + "\n")
+
+    return _emit

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""The Table II story: fluctuating vs. deterministic fault coverage.
+
+Runs the forwarding test (performance counters removed, so the signature
+is stable either way) across the paper's scenario matrix — active-core
+count x flash position x code alignment — twice: once as a plain
+single-core program executed without caches, once wrapped in the
+cache-based strategy.  Then fault-simulates every run's activation log
+against the per-core forwarding-logic netlists.
+
+Expected output shape (the paper's Section IV-C): without caches the
+coverage oscillates from scenario to scenario while the signature never
+changes — the silent danger — and with the wrapper it is bit-stable at
+a higher value.
+"""
+
+from repro import (
+    CORE_MODEL_A,
+    CORE_MODEL_B,
+    CORE_MODEL_C,
+    RoutineContext,
+    cache_wrapped_builder,
+    default_scenarios,
+    forwarding_coverage,
+    make_forwarding_routine,
+    run_scenario,
+)
+from repro.utils.tables import format_table
+
+MODELS = {0: CORE_MODEL_A, 1: CORE_MODEL_B, 2: CORE_MODEL_C}
+
+
+def main() -> None:
+    contexts = {i: RoutineContext.for_core(i, m) for i, m in MODELS.items()}
+    plain = {
+        i: make_forwarding_routine(m, with_pcs=False).builder_for(contexts[i])
+        for i, m in MODELS.items()
+    }
+    wrapped = {
+        i: cache_wrapped_builder(
+            make_forwarding_routine(m, with_pcs=False), contexts[i]
+        )
+        for i, m in MODELS.items()
+    }
+    scenarios = default_scenarios()
+    print(f"running {len(scenarios)} scenarios, twice each ...")
+    rows = []
+    per_scenario = []
+    plain_results = [run_scenario(plain, s) for s in scenarios]
+    wrapped_results = [run_scenario(wrapped, s) for s in scenarios]
+    for core_id, model in MODELS.items():
+        no_cache = [
+            forwarding_coverage(r.per_core[core_id].log, model).coverage_percent
+            for r in plain_results
+            if core_id in r.per_core
+        ]
+        cached = {
+            round(
+                forwarding_coverage(r.per_core[core_id].log, model).coverage_percent,
+                6,
+            )
+            for r in wrapped_results
+            if core_id in r.per_core
+        }
+        sigs_plain = {
+            r.per_core[core_id].signature
+            for r in plain_results
+            if core_id in r.per_core
+        }
+        rows.append(
+            (
+                model.name,
+                f"{min(no_cache):.2f} - {max(no_cache):.2f}",
+                len(sigs_plain),
+                f"{min(cached):.2f}",
+                "stable" if len(cached) == 1 else "UNSTABLE",
+            )
+        )
+    for r, s in zip(plain_results, scenarios):
+        if 0 in r.per_core:
+            fc = forwarding_coverage(r.per_core[0].log, CORE_MODEL_A)
+            per_scenario.append((s.label, f"{fc.coverage_percent:.2f}"))
+    print()
+    print(
+        format_table(
+            ("core", "FC% no caches (min-max)", "distinct signatures",
+             "FC% cache-based", "cache-based FC"),
+            rows,
+            title="Forwarding-logic coverage across the scenario matrix",
+        )
+    )
+    print()
+    print(
+        format_table(
+            ("scenario", "core A FC%"),
+            per_scenario,
+            title="Per-scenario oscillation (core A, no caches)",
+        )
+    )
+    print(
+        "\nNote how the no-cache runs always return the same signature"
+        " (column 3 = 1): the coverage loss is invisible in the field."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Run-time self-tests: testing while the application runs.
+
+The paper's Section I taxonomy: run-time tests execute "concurrently
+with the application software ... usually during the processor idle
+times", and unlike boot-time tests they can run in parallel without
+special machinery — provided they are timing-insensitive (no
+performance counters, no imprecise-interrupt state in the signature).
+
+This example interleaves an application workload with a rotation of
+run-time routines on all three cores at once, then shows that (a) every
+self-test execution reproduced its golden signature despite full bus
+contention and (b) the applications' checksums are untouched — the
+"increase the system availability" story.
+"""
+
+from repro import (
+    CORE_MODEL_A,
+    CORE_MODEL_B,
+    CORE_MODEL_C,
+    RoutineContext,
+    Soc,
+    golden_signature,
+    make_background_routines,
+)
+from repro.stl.runtime import build_runtime_session, session_verdict
+from repro.utils.tables import format_table
+
+MODELS = {0: CORE_MODEL_A, 1: CORE_MODEL_B, 2: CORE_MODEL_C}
+ROUNDS = 6
+
+
+def main() -> None:
+    soc = Soc()
+    sessions = {}
+    for core_id, model in MODELS.items():
+        ctx = RoutineContext.for_core(core_id, model)
+        pairs = []
+        for routine in make_background_routines()[:3]:
+            golden = golden_signature(
+                routine.build_single_core(0x7000, ctx), core_id
+            )
+            pairs.append((routine, golden))
+        session = build_runtime_session(
+            pairs, rounds=ROUNDS, base_address=0x1000 + core_id * 0x8000, ctx=ctx
+        )
+        sessions[core_id] = session
+        soc.load(session.program)
+    for core_id, session in sessions.items():
+        soc.start_core(core_id, session.entry_point)
+    cycles = soc.run(max_cycles=16_000_000)
+    rows = []
+    for core_id, session in sessions.items():
+        core = soc.cores[core_id]
+        passed, checksum = session_verdict(core)
+        rows.append(
+            (
+                core.model.name,
+                ROUNDS,
+                ", ".join(sorted(set(session.routine_names))),
+                "PASS" if passed else "FAIL",
+                "OK" if checksum == session.expected_app_checksum else "CORRUPT",
+            )
+        )
+    print(
+        format_table(
+            ("core", "test windows", "routines", "self-tests", "application"),
+            rows,
+            title=f"Concurrent run-time testing ({cycles:,} cycles, 3 cores)",
+        )
+    )
+    print(
+        "\nRun-time routines are timing-insensitive by construction, so no"
+        "\ncache wrapping is needed; the boot-time routines (forwarding/ICU)"
+        "\nwould fail here - that is what the paper's methodology is for."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""Experiment drivers reproducing every table and figure of the paper."""
+
+from repro.analysis.excitation import (
+    PathExcitation,
+    compare_excitation,
+    excitation_summary,
+    path_excitation,
+)
+from repro.analysis.experiments import (
+    MODELS,
+    Fig1Result,
+    Fig2Result,
+    Table1Result,
+    Table2Result,
+    Table3Result,
+    Table4Result,
+    fig1_pipeline_traces,
+    fig2_structure_audit,
+    table1_stalls,
+    table2_forwarding,
+    table3_icu_hdcu,
+    table4_tcm_vs_cache,
+)
+
+__all__ = [
+    "PathExcitation",
+    "compare_excitation",
+    "excitation_summary",
+    "path_excitation",
+    "MODELS",
+    "Fig1Result",
+    "Fig2Result",
+    "Table1Result",
+    "Table2Result",
+    "Table3Result",
+    "Table4Result",
+    "fig1_pipeline_traces",
+    "fig2_structure_audit",
+    "table1_stalls",
+    "table2_forwarding",
+    "table3_icu_hdcu",
+    "table4_tcm_vs_cache",
+]

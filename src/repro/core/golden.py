@@ -1,0 +1,72 @@
+"""Golden (fault-free reference) runs.
+
+The expected test signature is obtained "in a fault-free scenario"
+(Section I): the program is run alone on a reference SoC and the final
+value of the signature register is captured.  The two-phase build —
+build without a check, golden-run, rebuild with the expected value —
+mirrors how STL vendors generate the reference signatures shipped with
+the library.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.isa.program import Program
+from repro.soc.config import DEFAULT_SOC_CONFIG, SocConfig
+from repro.soc.soc import Soc
+from repro.stl.conventions import SIG_REG
+
+#: Generous default budget: the slowest routine variant (uncached,
+#: multi-core) stays well below this.
+DEFAULT_MAX_CYCLES = 4_000_000
+
+
+def run_alone(
+    program: Program,
+    core_index: int,
+    soc_config: SocConfig = DEFAULT_SOC_CONFIG,
+    max_cycles: int = DEFAULT_MAX_CYCLES,
+) -> Soc:
+    """Run ``program`` on core ``core_index`` with all other cores off."""
+    soc = Soc(soc_config)
+    soc.load(program)
+    soc.start_core(core_index, program.base_address)
+    soc.run(max_cycles=max_cycles)
+    return soc
+
+
+def golden_signature(
+    program: Program,
+    core_index: int,
+    soc_config: SocConfig = DEFAULT_SOC_CONFIG,
+    max_cycles: int = DEFAULT_MAX_CYCLES,
+) -> int:
+    """The fault-free signature left in SIG_REG by a single-core run."""
+    soc = run_alone(program, core_index, soc_config, max_cycles)
+    return soc.cores[core_index].regfile.read(SIG_REG)
+
+
+def finalise_with_expected(
+    build: Callable[[int | None], Program],
+    core_index: int,
+    soc_config: SocConfig = DEFAULT_SOC_CONFIG,
+) -> tuple[Program, int]:
+    """Two-phase build: derive the golden signature, then rebuild with
+    the signature check enabled.
+
+    ``build(expected)`` must return the same program modulo the check
+    epilogue (the check sits after the test window closes, so it cannot
+    change the signature itself — asserted here).
+    """
+    unchecked = build(None)
+    expected = golden_signature(unchecked, core_index, soc_config)
+    final = build(expected)
+    confirm = golden_signature(final, core_index, soc_config)
+    if confirm != expected:
+        raise AssertionError(
+            f"{final.name}: signature changed when the check was added "
+            f"({expected:#010x} -> {confirm:#010x}); the epilogue must not "
+            "affect the test window"
+        )
+    return final, expected

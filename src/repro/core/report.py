@@ -1,0 +1,68 @@
+"""Campaign summaries: signature stability and verdict reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.determinism import ScenarioResult
+from repro.stl.conventions import RESULT_FAIL, RESULT_PASS
+
+
+@dataclass(frozen=True)
+class SignatureStability:
+    """Signature behaviour of one core across a campaign.
+
+    ``stable`` is the paper's determinism criterion: every scenario
+    produced bit-identical signatures.  ``pass_rate`` is the fraction of
+    runs whose self-check verdict was PASS (meaningful only when the
+    programs embed an expected signature).
+    """
+
+    core_id: int
+    model: str
+    signatures: tuple[int, ...]
+    verdicts: tuple[int, ...]
+
+    @property
+    def stable(self) -> bool:
+        return len(set(self.signatures)) == 1
+
+    @property
+    def distinct_signatures(self) -> int:
+        return len(set(self.signatures))
+
+    @property
+    def pass_count(self) -> int:
+        return sum(1 for v in self.verdicts if v == RESULT_PASS)
+
+    @property
+    def fail_count(self) -> int:
+        return sum(1 for v in self.verdicts if v == RESULT_FAIL)
+
+    @property
+    def pass_rate(self) -> float:
+        if not self.verdicts:
+            return 0.0
+        return self.pass_count / len(self.verdicts)
+
+
+def signature_stability(
+    results: list[ScenarioResult], core_id: int
+) -> SignatureStability:
+    """Summarise one core's signatures over a campaign."""
+    signatures = []
+    verdicts = []
+    model = "?"
+    for result in results:
+        run = result.per_core.get(core_id)
+        if run is None:
+            continue
+        model = run.model
+        signatures.append(run.signature)
+        verdicts.append(run.mailbox)
+    return SignatureStability(
+        core_id=core_id,
+        model=model,
+        signatures=tuple(signatures),
+        verdicts=tuple(verdicts),
+    )

@@ -1,0 +1,146 @@
+"""Functional execution of ALU operations, including the trapping variants.
+
+The trapping instructions are the ICU's synchronous event sources: each
+returns the architectural result *and* the event it raised, if any.  The
+event is delivered to the ICU when the instruction retires and is then
+recognised *imprecisely* — see :mod:`repro.cpu.icu`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.isa.instructions import Event, Mnemonic
+from repro.utils.bitops import MASK32, MASK64, to_signed, to_unsigned
+
+INT32_MIN, INT32_MAX = -(1 << 31), (1 << 31) - 1
+
+
+def execute_alu(
+    mnemonic: Mnemonic, op1: int, op2: int
+) -> tuple[int, Event | None]:
+    """Execute a register-register or trapping ALU operation.
+
+    ``op1``/``op2`` are 32-bit unsigned patterns (64-bit for the ``*64``
+    mnemonics).  Returns ``(result, event)`` where ``event`` is the
+    synchronous imprecise interrupt raised, or None.
+    """
+    a, b = op1 & MASK32, op2 & MASK32
+    sa, sb = to_signed(a), to_signed(b)
+    if mnemonic is Mnemonic.ADD:
+        return (a + b) & MASK32, None
+    if mnemonic is Mnemonic.SUB:
+        return (a - b) & MASK32, None
+    if mnemonic is Mnemonic.AND:
+        return a & b, None
+    if mnemonic is Mnemonic.OR:
+        return a | b, None
+    if mnemonic is Mnemonic.XOR:
+        return a ^ b, None
+    if mnemonic is Mnemonic.NOR:
+        return ~(a | b) & MASK32, None
+    if mnemonic is Mnemonic.SLT:
+        return int(sa < sb), None
+    if mnemonic is Mnemonic.SLTU:
+        return int(a < b), None
+    if mnemonic is Mnemonic.SLL:
+        return (a << (b & 31)) & MASK32, None
+    if mnemonic is Mnemonic.SRL:
+        return a >> (b & 31), None
+    if mnemonic is Mnemonic.SRA:
+        return to_unsigned(sa >> (b & 31)), None
+    if mnemonic is Mnemonic.MUL:
+        return (a * b) & MASK32, None
+    if mnemonic is Mnemonic.MULH:
+        return to_unsigned((sa * sb) >> 32), None
+    if mnemonic is Mnemonic.ADDO:
+        total = sa + sb
+        event = Event.OVF_ADD if not INT32_MIN <= total <= INT32_MAX else None
+        return total & MASK32, event
+    if mnemonic is Mnemonic.SUBO:
+        total = sa - sb
+        event = Event.OVF_SUB if not INT32_MIN <= total <= INT32_MAX else None
+        return total & MASK32, event
+    if mnemonic is Mnemonic.MULO:
+        product = sa * sb
+        event = Event.OVF_MUL if not INT32_MIN <= product <= INT32_MAX else None
+        return product & MASK32, event
+    if mnemonic is Mnemonic.SATADD:
+        total = sa + sb
+        if total > INT32_MAX:
+            return INT32_MAX & MASK32, Event.SAT
+        if total < INT32_MIN:
+            return to_unsigned(INT32_MIN), Event.SAT
+        return total & MASK32, None
+    if mnemonic is Mnemonic.DIVT:
+        if b == 0:
+            return 0, Event.DIV0
+        quotient = abs(sa) // abs(sb)
+        if (sa < 0) != (sb < 0):
+            quotient = -quotient
+        return to_unsigned(quotient), None
+    if mnemonic is Mnemonic.SLLO:
+        shift = b & 31
+        shifted_out = (a >> (32 - shift)) if shift else 0
+        return (a << shift) & MASK32, Event.SHIFTO if shifted_out else None
+    raise SimulationError(f"{mnemonic.value} is not a 32-bit ALU operation")
+
+
+def execute_alu64(mnemonic: Mnemonic, op1: int, op2: int) -> int:
+    """Execute a 64-bit register-pair operation (core C extended ISA)."""
+    a, b = op1 & MASK64, op2 & MASK64
+    if mnemonic is Mnemonic.ADD64:
+        return (a + b) & MASK64
+    if mnemonic is Mnemonic.SUB64:
+        return (a - b) & MASK64
+    if mnemonic is Mnemonic.AND64:
+        return a & b
+    if mnemonic is Mnemonic.OR64:
+        return a | b
+    if mnemonic is Mnemonic.XOR64:
+        return a ^ b
+    raise SimulationError(f"{mnemonic.value} is not a 64-bit ALU operation")
+
+
+def execute_imm(mnemonic: Mnemonic, op1: int, imm: int) -> int:
+    """Execute a register-immediate operation.
+
+    ``ADDI``/``SLTI`` treat the immediate as signed; the logical
+    immediates (``ANDI``/``ORI``/``XORI``) and the shift amounts treat it
+    as an unsigned 15-bit field.
+    """
+    a = op1 & MASK32
+    if mnemonic is Mnemonic.ADDI:
+        return (a + to_unsigned(imm)) & MASK32
+    if mnemonic is Mnemonic.ANDI:
+        return a & to_unsigned(imm, 15)
+    if mnemonic is Mnemonic.ORI:
+        return a | to_unsigned(imm, 15)
+    if mnemonic is Mnemonic.XORI:
+        return a ^ to_unsigned(imm, 15)
+    if mnemonic is Mnemonic.SLTI:
+        return int(to_signed(a) < imm)
+    if mnemonic is Mnemonic.SLLI:
+        return (a << (imm & 31)) & MASK32
+    if mnemonic is Mnemonic.SRLI:
+        return a >> (imm & 31)
+    if mnemonic is Mnemonic.SRAI:
+        return to_unsigned(to_signed(a) >> (imm & 31))
+    raise SimulationError(f"{mnemonic.value} is not an immediate ALU operation")
+
+
+def branch_taken(mnemonic: Mnemonic, op1: int, op2: int) -> bool:
+    """Evaluate a conditional-branch comparison."""
+    a, b = op1 & MASK32, op2 & MASK32
+    if mnemonic is Mnemonic.BEQ:
+        return a == b
+    if mnemonic is Mnemonic.BNE:
+        return a != b
+    if mnemonic is Mnemonic.BLT:
+        return to_signed(a) < to_signed(b)
+    if mnemonic is Mnemonic.BGE:
+        return to_signed(a) >= to_signed(b)
+    if mnemonic is Mnemonic.BLTU:
+        return a < b
+    if mnemonic is Mnemonic.BGEU:
+        return a >= b
+    raise SimulationError(f"{mnemonic.value} is not a conditional branch")

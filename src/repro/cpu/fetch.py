@@ -1,0 +1,179 @@
+"""Instruction fetch unit.
+
+Fetches aligned fetch groups into a small queue.  Three paths exist,
+selected per address:
+
+* **I-TCM** — private single-cycle scratchpad, two words per cycle;
+* **I-cache** (when enabled) — two words per cycle on a hit, a full
+  line fill over the system bus on a miss;
+* **uncached** — 16-byte aligned burst transactions on the system bus,
+  with up to two bursts in flight (the flash controller streams ahead
+  of execution, like a real prefetcher).
+
+The uncached path is where the paper's Section II uncertainty lives:
+with an idle bus the streamed bursts keep the issue queue fed and most
+issue packets stay back-to-back, but every cycle another core holds the
+bus delays the next burst and opens a fetch gap — splitting packets and
+silently changing which forwarding paths get excited.  A redirect to an
+unaligned target fetches a partial group first, so the code-alignment
+scenarios of Table II genuinely change the fetch phase.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from functools import lru_cache
+
+from repro.isa.encoding import decode
+from repro.isa.instructions import Instruction
+from repro.mem.bus import SystemBus, Transaction, TxnKind
+from repro.mem.cache import Cache
+from repro.mem.memmap import MemoryMap, is_cacheable
+from repro.mem.tcm import Tcm
+
+
+@lru_cache(maxsize=65536)
+def _decode_word(word: int) -> Instruction:
+    return decode(word)
+
+
+class FetchUnit:
+    """Per-core instruction fetch front end feeding the issue queue."""
+
+    QUEUE_CAPACITY = 8
+    #: Uncached fetch granule: one 16-byte (two-packet) burst.
+    UNCACHED_GROUP_BYTES = 16
+    #: Outstanding uncached bursts (the prefetch stream depth).
+    UNCACHED_PIPELINE = 2
+
+    def __init__(
+        self,
+        core_id: int,
+        bus: SystemBus,
+        memmap: MemoryMap,
+        icache: Cache,
+        itcm: Tcm,
+    ):
+        self.core_id = core_id
+        self.bus = bus
+        self.memmap = memmap
+        self.icache = icache
+        self.itcm = itcm
+        self.icache_enabled = False
+        self.fetch_pc = 0
+        self.queue: list[tuple[int, Instruction]] = []
+        #: In-flight fetch transactions, oldest first.  Entries are
+        #: (txn, pc, is_fill, discard).
+        self._inflight: deque[list] = deque()
+
+    # ------------------------------------------------------------------
+    # Control.
+    # ------------------------------------------------------------------
+
+    def reset(self, pc: int) -> None:
+        """Point the fetch unit at ``pc`` and clear all buffered state."""
+        self.redirect(pc)
+
+    def redirect(self, pc: int) -> None:
+        """Branch redirect: flush the queue, drop any in-flight fetches."""
+        if pc % 4:
+            raise ValueError(f"fetch target {pc:#x} is not word-aligned")
+        self.fetch_pc = pc
+        self.queue.clear()
+        for entry in self._inflight:
+            entry[3] = True  # discard on completion
+
+    @property
+    def busy(self) -> bool:
+        """True while any fetch transaction is outstanding."""
+        return any(not entry[0].done for entry in self._inflight)
+
+    # ------------------------------------------------------------------
+    # Per-cycle operation.
+    # ------------------------------------------------------------------
+
+    def step(self, cycle: int, halted: bool) -> None:
+        """Collect completed fetches (in order) and launch new ones."""
+        self._collect()
+        if halted:
+            return
+        pc = self.fetch_pc
+        if self.itcm.contains(pc):
+            if not self._inflight and len(self.queue) <= self.QUEUE_CAPACITY - 2:
+                self._fetch_from_tcm(pc)
+        elif self.icache_enabled and is_cacheable(pc):
+            if not self._inflight and len(self.queue) <= self.QUEUE_CAPACITY - 2:
+                self._fetch_from_cache(pc, cycle)
+        else:
+            self._fetch_uncached(cycle)
+
+    def _collect(self) -> None:
+        while self._inflight and self._inflight[0][0].done:
+            txn, pc, is_fill, discard = self._inflight.popleft()
+            if discard:
+                continue
+            if is_fill:
+                self.icache.install(txn.address, txn.data)
+                # The requested words are read out of the cache on the
+                # next step (fill-to-fetch turnaround).
+                continue
+            for i, word in enumerate(txn.data):
+                self.queue.append((pc + 4 * i, _decode_word(word)))
+
+    def _group_words(self, pc: int) -> int:
+        """Words left in the 8-byte aligned fetch group containing ``pc``."""
+        return 1 if (pc >> 2) & 1 else 2
+
+    def _fetch_from_tcm(self, pc: int) -> None:
+        for _ in range(self._group_words(pc)):
+            word = self.itcm.read_word(pc)
+            self.queue.append((pc, _decode_word(word)))
+            pc += 4
+        self.fetch_pc = pc
+
+    def _fetch_from_cache(self, pc: int, cycle: int) -> None:
+        if not self.icache.lookup(pc):
+            plan = self.icache.prepare_fill(pc)
+            # Instruction lines are never dirty; only the fill is needed.
+            txn = self.bus.submit(
+                Transaction(
+                    core_id=self.core_id,
+                    kind=TxnKind.IFETCH,
+                    address=plan.line_address,
+                    burst_words=self.icache.config.words_per_line,
+                ),
+                cycle,
+            )
+            self._inflight.append([txn, pc, True, False])
+            return
+        # An 8-byte fetch group never crosses a cache line, so once the
+        # first word hits the whole group is resident.
+        for _ in range(self._group_words(pc)):
+            word = self.icache.read(pc)
+            self.queue.append((pc, _decode_word(word)))
+            pc += 4
+        self.fetch_pc = pc
+
+    def _fetch_uncached(self, cycle: int) -> None:
+        pending_words = sum(
+            entry[0].burst_words for entry in self._inflight if not entry[3]
+        )
+        while (
+            len(self._inflight) < self.UNCACHED_PIPELINE
+            and len(self.queue) + pending_words <= self.QUEUE_CAPACITY - 4
+        ):
+            pc = self.fetch_pc
+            group = self.UNCACHED_GROUP_BYTES
+            words = (group - (pc % group)) // 4
+            txn = self.bus.submit(
+                Transaction(
+                    core_id=self.core_id,
+                    kind=TxnKind.IFETCH,
+                    address=pc,
+                    burst_words=words,
+                ),
+                cycle,
+            )
+            self._inflight.append([txn, pc, False, False])
+            self.fetch_pc = pc + 4 * words
+            pending_words += words

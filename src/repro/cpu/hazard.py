@@ -1,0 +1,62 @@
+"""Issue rules of the Hazard Detection Control Unit (HDCU).
+
+The HDCU "detects dependencies among issue packets, driving the
+forwarding paths and possibly stalls the pipeline if the forwarding is
+not possible" (Section IV-A).  In this model it decides, every cycle:
+
+* whether the two queue-head instructions may form a dual-issue packet
+  (structural rules of the dual-issue front end), and
+* whether issue must stall because a needed value cannot be forwarded
+  yet (load-use hazard).
+
+Wrongly inserted stalls are the failure mode the performance counters
+are meant to catch, which is why the full forwarding test of Bernardi
+et al. [19] folds the stall counters into the signature.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import Instruction
+from repro.cpu.uop import Uop
+
+
+def can_dual_issue(first: Instruction, second: Instruction) -> bool:
+    """Structural + dependency rules for pairing two instructions.
+
+    Slot 1 has only a plain ALU: memory, multiplier, branch and system
+    instructions must occupy slot 0.  A branch or system instruction in
+    slot 0 terminates the packet.  Intra-packet RAW and WAW dependencies
+    split the packet (the dependent instruction issues one cycle later
+    and receives its operand over the cross-pipe EX->EX path).
+    """
+    spec0, spec1 = first.spec, second.spec
+    if spec0.is_branch or spec0.is_system:
+        return False
+    if spec1.is_branch or spec1.is_system:
+        return False
+    if spec1.is_mem or spec1.is_mul:
+        return False
+    dests0 = set(first.dest_regs())
+    if dests0 & set(second.source_regs()):
+        return False
+    if dests0 & set(second.dest_regs()):
+        return False
+    return True
+
+
+def unresolved_producer(instr: Instruction, *latches: list[Uop]) -> bool:
+    """True when a needed producer has no result yet.
+
+    This covers the classic load-use hazard (a load one packet ahead
+    whose data arrives at the end of MEM) and loads still waiting on the
+    bus: in both cases the HDCU must stall issue because forwarding is
+    not possible yet.
+    """
+    sources = set(instr.source_regs())
+    if not sources:
+        return False
+    for latch in latches:
+        for uop in latch:
+            if not uop.result_ready and sources & set(uop.dests):
+                return True
+    return False

@@ -1,0 +1,38 @@
+"""Architectural register state."""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.isa.instructions import NUM_REGS
+from repro.utils.bitops import MASK32
+
+
+class RegFile:
+    """32 general-purpose 32-bit registers; r0 is hard-wired to zero."""
+
+    def __init__(self):
+        self._regs = [0] * NUM_REGS
+
+    def read(self, index: int) -> int:
+        if not 0 <= index < NUM_REGS:
+            raise SimulationError(f"register r{index} does not exist")
+        return self._regs[index]
+
+    def write(self, index: int, value: int) -> None:
+        if not 0 <= index < NUM_REGS:
+            raise SimulationError(f"register r{index} does not exist")
+        if index != 0:
+            self._regs[index] = value & MASK32
+
+    def read_pair(self, index: int) -> int:
+        """Read the 64-bit register pair (r[index] low, r[index+1] high)."""
+        return self.read(index) | (self.read(index + 1) << 32)
+
+    def write_pair(self, index: int, value: int) -> None:
+        """Write a 64-bit value to a register pair."""
+        self.write(index, value & MASK32)
+        self.write(index + 1, (value >> 32) & MASK32)
+
+    def snapshot(self) -> tuple[int, ...]:
+        """Immutable copy of the whole file (for differential testing)."""
+        return tuple(self._regs)

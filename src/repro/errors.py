@@ -1,0 +1,58 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised on purpose by this package derives from
+:class:`ReproError`, so callers can catch the whole family with a single
+``except`` clause while still being able to distinguish assembly problems
+from simulation problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class AssemblyError(ReproError):
+    """An assembly-language source could not be assembled.
+
+    Carries the offending source line number (1-based) when known.
+    """
+
+    def __init__(self, message: str, line: int | None = None):
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+        self.line = line
+
+
+class EncodingError(ReproError):
+    """An instruction could not be encoded to, or decoded from, 32 bits."""
+
+
+class MemoryError_(ReproError):
+    """A memory access fell outside every mapped device or was misaligned.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`MemoryError`.
+    """
+
+
+class SimulationError(ReproError):
+    """The CPU or SoC simulation reached an inconsistent state."""
+
+
+class ExecutionLimitExceeded(SimulationError):
+    """A simulation ran longer than its configured cycle budget."""
+
+
+class ValidationError(ReproError):
+    """A self-test routine violates the cache-based methodology rules."""
+
+
+class RoutineTooLargeError(ValidationError):
+    """A routine does not fit the instruction cache and was not split."""
+
+
+class FaultModelError(ReproError):
+    """A netlist or fault list is malformed."""

@@ -1,0 +1,79 @@
+"""Gate-level stuck-at fault model and PPSFP fault simulator."""
+
+from repro.faults.atpg import (
+    AtpgResult,
+    forwarding_ceiling,
+    forwarding_select_constraint,
+    random_pattern_atpg,
+)
+from repro.faults.campaign import (
+    CoverageRange,
+    ModuleCoverage,
+    coverage_range,
+    forwarding_coverage,
+    forwarding_transition_coverage,
+    hdcu_coverage,
+    icu_coverage,
+)
+from repro.faults.transition import (
+    TransitionFault,
+    enumerate_transition_faults,
+    transition_fault_simulate,
+)
+from repro.faults.gates import GateKind, eval_gate
+from repro.faults.generators import (
+    CoreModules,
+    generate_forwarding_port,
+    generate_hdcu_port,
+    generate_icu,
+    get_modules,
+)
+from repro.faults.netlist import Gate, Netlist
+from repro.faults.observability import (
+    forwarding_pattern_sets,
+    hdcu_pattern_sets,
+    icu_pattern_set,
+)
+from repro.faults.ppsfp import (
+    FaultSimResult,
+    PatternSet,
+    fault_simulate,
+    good_simulation,
+)
+from repro.faults.stuckat import StuckAtFault, collapse_faults, enumerate_faults
+
+__all__ = [
+    "AtpgResult",
+    "forwarding_ceiling",
+    "forwarding_select_constraint",
+    "random_pattern_atpg",
+    "CoverageRange",
+    "ModuleCoverage",
+    "coverage_range",
+    "forwarding_coverage",
+    "forwarding_transition_coverage",
+    "TransitionFault",
+    "enumerate_transition_faults",
+    "transition_fault_simulate",
+    "hdcu_coverage",
+    "icu_coverage",
+    "GateKind",
+    "eval_gate",
+    "CoreModules",
+    "generate_forwarding_port",
+    "generate_hdcu_port",
+    "generate_icu",
+    "get_modules",
+    "Gate",
+    "Netlist",
+    "forwarding_pattern_sets",
+    "hdcu_pattern_sets",
+    "icu_pattern_set",
+    "FaultSimResult",
+    "PatternSet",
+    "fault_simulate",
+    "good_simulation",
+    "StuckAtFault",
+    "collapse_faults",
+    "enumerate_faults",
+]

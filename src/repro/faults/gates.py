@@ -1,0 +1,54 @@
+"""Gate primitives evaluated bit-parallel over pattern sets.
+
+Every net's value across all P patterns of a fault-simulation run is one
+arbitrary-precision Python integer (bit *t* = the net's logic value in
+pattern *t*), so evaluating a gate applies it to every pattern at once —
+the classic parallel-pattern technique (PPSFP) with the word width set
+by Python's bigints instead of the machine word.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class GateKind(enum.IntEnum):
+    """Supported primitives (one- and two-input)."""
+
+    BUF = 0
+    NOT = 1
+    AND = 2
+    OR = 3
+    NAND = 4
+    NOR = 5
+    XOR = 6
+    XNOR = 7
+
+
+#: Gates with a single input.
+UNARY = frozenset((GateKind.BUF, GateKind.NOT))
+
+
+def eval_gate(kind: GateKind, a: int, b: int, mask: int) -> int:
+    """Evaluate one gate over packed pattern values.
+
+    ``mask`` has one bit per pattern; inverting gates AND with it so the
+    result never grows beyond the pattern width.
+    """
+    if kind == GateKind.BUF:
+        return a
+    if kind == GateKind.NOT:
+        return ~a & mask
+    if kind == GateKind.AND:
+        return a & b
+    if kind == GateKind.OR:
+        return a | b
+    if kind == GateKind.NAND:
+        return ~(a & b) & mask
+    if kind == GateKind.NOR:
+        return ~(a | b) & mask
+    if kind == GateKind.XOR:
+        return a ^ b
+    if kind == GateKind.XNOR:
+        return ~(a ^ b) & mask
+    raise ValueError(f"unknown gate kind {kind}")

@@ -1,0 +1,210 @@
+"""Build fault-simulation pattern sets from pipeline activation logs.
+
+This is the bridge between the logic simulation (the cycle-level
+pipeline run) and the gate-level fault simulation: every recorded module
+activation becomes one stimulus pattern, and its observability mask says
+on which output bits a fault effect would actually reach the 32-bit
+test signature.  Patterns outside the test window (the cache-based
+strategy's loading loop) carry no observability and are skipped
+entirely — the loading loop can excite faults but never detect them,
+exactly as the methodology prescribes.
+
+Identical patterns are merged (their observability masks OR together),
+which keeps the packed bigints short without changing coverage.
+"""
+
+from __future__ import annotations
+
+from repro.cpu.core import CoreModel
+from repro.cpu.recording import ActivationLog, ForwardingRecord, HdcuRecord, IcuRecord
+from repro.faults.generators import ICU_FIELD_BITS, NUM_SOURCES, PORTS, CoreModules
+from repro.faults.ppsfp import PatternSet
+from repro.isa.instructions import NUM_EVENTS
+from repro.utils.bitops import bit as get_bit
+
+
+class _Accumulator:
+    """Merges identical (stimulus, per-output-observability) patterns.
+
+    With ``ordered=True`` no merging happens and the patterns keep the
+    run's temporal order — required for transition-delay grading, where
+    the launch/capture adjacency of consecutive vectors is the test.
+    """
+
+    def __init__(self, ordered: bool = False):
+        self.ordered = ordered
+        self._patterns: dict[tuple, int] = {}
+        self._sequence: list[tuple] = []
+        self._obs: list[dict] = []
+
+    def add(self, stimulus: tuple, obs: dict[int, bool]) -> None:
+        if self.ordered:
+            self._sequence.append(stimulus)
+            self._obs.append(dict(obs))
+            return
+        index = self._patterns.get(stimulus)
+        if index is None:
+            index = len(self._obs)
+            self._patterns[stimulus] = index
+            self._obs.append(dict(obs))
+        else:
+            merged = self._obs[index]
+            for net, flag in obs.items():
+                merged[net] = merged.get(net, False) or flag
+
+    def _stimuli(self):
+        if self.ordered:
+            return enumerate(self._sequence)
+        return ((index, stimulus) for stimulus, index in self._patterns.items())
+
+    def build(self, input_nets: list[int]) -> PatternSet:
+        num = len(self._obs)
+        patterns = PatternSet(num_patterns=num)
+        inputs = {net: 0 for net in input_nets}
+        for index, stimulus in self._stimuli():
+            for net, value in zip(input_nets, stimulus):
+                if value:
+                    inputs[net] |= 1 << index
+        patterns.inputs = inputs
+        obs_packed: dict[int, int] = {}
+        for index, obs in enumerate(self._obs):
+            for net, flag in obs.items():
+                if flag:
+                    obs_packed[net] = obs_packed.get(net, 0) | (1 << index)
+        patterns.output_observability = obs_packed
+        return patterns
+
+    @property
+    def empty(self) -> bool:
+        return not self._obs
+
+
+def _bits(value: int, width: int) -> tuple[int, ...]:
+    return tuple((value >> i) & 1 for i in range(width))
+
+
+# ----------------------------------------------------------------------
+# Forwarding logic.
+# ----------------------------------------------------------------------
+
+def forwarding_pattern_sets(
+    log: ActivationLog, modules: CoreModules, ordered: bool = False
+) -> dict[tuple[int, int], PatternSet]:
+    """One pattern set per consumer port from the forwarding records.
+
+    ``ordered=True`` preserves temporal order without deduplication
+    (needed for transition-delay grading)."""
+    width = 64 if modules.model.is64 else 32
+    accumulators = {port: _Accumulator(ordered) for port in PORTS}
+    for record in log.forwarding:
+        if not record.observable:
+            continue
+        port = (record.slot, record.operand)
+        acc = accumulators.get(port)
+        if acc is None:
+            continue
+        stimulus = _forwarding_stimulus(record, width)
+        netlist = modules.forwarding[port]
+        out = netlist.outputs["out"]
+        obs: dict[int, bool] = {}
+        high_ok = record.width == 64 and record.observable_high
+        for j in range(width):
+            observable = j < 32 or high_ok
+            if observable:
+                obs[out[j]] = True
+        acc.add(stimulus, obs)
+    return {
+        port: acc.build(modules.forwarding[port].input_nets)
+        for port, acc in accumulators.items()
+        if not acc.empty
+    }
+
+
+def _forwarding_stimulus(record: ForwardingRecord, width: int) -> tuple:
+    sel = tuple(1 if i == int(record.select) else 0 for i in range(NUM_SOURCES))
+    data: list[int] = []
+    for i in range(NUM_SOURCES):
+        data.extend(_bits(record.candidates[i], width))
+    return sel + tuple(data)
+
+
+# ----------------------------------------------------------------------
+# HDCU.
+# ----------------------------------------------------------------------
+
+def hdcu_pattern_sets(
+    log: ActivationLog, modules: CoreModules
+) -> dict[tuple[int, int], PatternSet]:
+    """One pattern set per consumer port from the HDCU records."""
+    accumulators = {port: _Accumulator() for port in PORTS}
+    for record in log.hdcu:
+        if not record.observable:
+            continue
+        port = (record.slot, record.operand)
+        acc = accumulators.get(port)
+        if acc is None:
+            continue
+        netlist = modules.hdcu[port]
+        stimulus = (
+            _bits(record.consumer_reg, 5)
+            + _bits(record.producer_regs[0], 5)
+            + _bits(record.producer_regs[1], 5)
+            + _bits(record.producer_regs[2], 5)
+            + _bits(record.producer_regs[3], 5)
+            + _bits(record.producer_valid, 4)
+            + _bits(record.producer_load_mask, 4)
+        )
+        obs = _hdcu_observability(record, netlist)
+        acc.add(stimulus, obs)
+    return {
+        port: acc.build(modules.hdcu[port].input_nets)
+        for port, acc in accumulators.items()
+        if not acc.empty
+    }
+
+
+def _hdcu_observability(record: HdcuRecord, netlist) -> dict[int, bool]:
+    sel_nets = netlist.outputs["sel"]
+    stall_net = netlist.outputs["stall"][0]
+    obs: dict[int, bool] = {}
+    if not record.stall:
+        # A wrong select is visible through the datapath only when the
+        # alternative source carried different data on this pattern.
+        for i in range(NUM_SOURCES):
+            if get_bit(record.flip_visible_mask, i):
+                obs[sel_nets[i]] = True
+        if record.flip_visible_mask:
+            obs[sel_nets[int(record.select)]] = True
+    # A wrong stall decision is visible only when the performance
+    # counters contribute to the signature (the full algorithm of [19]).
+    obs[stall_net] = record.stall_observable
+    return obs
+
+
+# ----------------------------------------------------------------------
+# ICU.
+# ----------------------------------------------------------------------
+
+def icu_pattern_set(log: ActivationLog, modules: CoreModules) -> PatternSet:
+    """Patterns from the ICU recognitions (merged ones split per event,
+    mirroring the sequential recognition of each pending source)."""
+    acc = _Accumulator()
+    for record in log.icu:
+        if not record.observable:
+            continue
+        events = [
+            e for e in range(NUM_EVENTS) if get_bit(record.event_vector, e)
+        ]
+        for index, event in enumerate(events):
+            stimulus = (
+                tuple(1 if e == event else 0 for e in range(NUM_EVENTS))
+                + _bits(record.imprecision, ICU_FIELD_BITS)
+                + _bits(record.count_before + index, ICU_FIELD_BITS)
+            )
+            obs = {
+                net: True
+                for bus in ("status", "imp_out", "count_out")
+                for net in modules.icu.outputs[bus]
+            }
+            acc.add(stimulus, obs)
+    return acc.build(modules.icu.input_nets)

@@ -1,0 +1,34 @@
+"""Instruction set, encoder/decoder, assembler and program container."""
+
+from repro.isa.assembler import assemble
+from repro.isa.builder import AsmBuilder
+from repro.isa.encoding import decode, encode
+from repro.isa.instructions import (
+    NUM_EVENTS,
+    NUM_REGS,
+    SPECS,
+    Csr,
+    Event,
+    Format,
+    Instruction,
+    InstrSpec,
+    Mnemonic,
+)
+from repro.isa.program import Program
+
+__all__ = [
+    "assemble",
+    "AsmBuilder",
+    "decode",
+    "encode",
+    "NUM_EVENTS",
+    "NUM_REGS",
+    "SPECS",
+    "Csr",
+    "Event",
+    "Format",
+    "Instruction",
+    "InstrSpec",
+    "Mnemonic",
+    "Program",
+]

@@ -1,0 +1,126 @@
+"""Binary encoding of the ISA (32-bit fixed-width instructions).
+
+Field layout (bit 31 is the MSB)::
+
+    [31:25] opcode (7 bits, one per mnemonic)
+    R3:     [24:20] rd   [19:15] rs1  [14:10] rs2
+    I/LOAD: [24:20] rd   [19:15] rs1  [14:0]  imm15 (signed)
+    LUI:    [24:20] rd   [19:0]  imm20 (unsigned, result = imm20 << 12)
+    STORE:  [19:15] rs1  [14:10] rs2  [9:0]   imm10 (signed)
+    BRANCH: [19:15] rs1  [14:10] rs2  [9:0]   imm10 (signed word offset)
+    JUMP:   [24:0]  imm25 (absolute word address)
+    JR:     [19:15] rs1
+    CSRR:   [24:20] rd   [19:15] csr
+    CSRW:   [24:20] csr  [19:15] rs1
+
+Stores and branches trade immediate range for the second source-register
+field, exactly like the S/B formats of mainstream RISC ISAs; test-program
+generators use ``J`` (25-bit absolute word address) for long-range jumps
+such as the loading/execution loop back-edge of the cache-based wrapper.
+"""
+
+from __future__ import annotations
+
+from repro.errors import EncodingError
+from repro.isa.instructions import NUM_REGS, Format, Instruction, Mnemonic
+from repro.utils.bitops import to_signed, to_unsigned
+
+#: Stable opcode assignment: enumeration order of :class:`Mnemonic`.
+OPCODE_OF: dict[Mnemonic, int] = {m: i for i, m in enumerate(Mnemonic)}
+MNEMONIC_OF: dict[int, Mnemonic] = {i: m for m, i in OPCODE_OF.items()}
+
+IMM15_MIN, IMM15_MAX = -(1 << 14), (1 << 14) - 1
+IMM10_MIN, IMM10_MAX = -(1 << 9), (1 << 9) - 1
+IMM20_MAX = (1 << 20) - 1
+IMM25_MAX = (1 << 25) - 1
+
+
+def _check_reg(value: int, name: str) -> int:
+    if not 0 <= value < NUM_REGS:
+        raise EncodingError(f"{name} out of range: r{value}")
+    return value
+
+
+def _check_range(value: int, low: int, high: int, name: str) -> int:
+    if not low <= value <= high:
+        raise EncodingError(f"{name}={value} outside [{low}, {high}]")
+    return value
+
+
+def encode(instr: Instruction) -> int:
+    """Encode one instruction to its 32-bit word."""
+    opcode = OPCODE_OF[instr.mnemonic] << 25
+    fmt = instr.spec.format
+    if fmt is Format.R3:
+        return (
+            opcode
+            | _check_reg(instr.rd, "rd") << 20
+            | _check_reg(instr.rs1, "rs1") << 15
+            | _check_reg(instr.rs2, "rs2") << 10
+        )
+    if fmt in (Format.I, Format.LOAD):
+        imm = _check_range(instr.imm, IMM15_MIN, IMM15_MAX, "imm15")
+        return (
+            opcode
+            | _check_reg(instr.rd, "rd") << 20
+            | _check_reg(instr.rs1, "rs1") << 15
+            | to_unsigned(imm, 15)
+        )
+    if fmt is Format.LUI:
+        imm = _check_range(instr.imm, 0, IMM20_MAX, "imm20")
+        return opcode | _check_reg(instr.rd, "rd") << 20 | imm
+    if fmt in (Format.STORE, Format.BRANCH):
+        imm = _check_range(instr.imm, IMM10_MIN, IMM10_MAX, "imm10")
+        return (
+            opcode
+            | _check_reg(instr.rs1, "rs1") << 15
+            | _check_reg(instr.rs2, "rs2") << 10
+            | to_unsigned(imm, 10)
+        )
+    if fmt is Format.JUMP:
+        imm = _check_range(instr.imm, 0, IMM25_MAX, "imm25")
+        return opcode | imm
+    if fmt is Format.JR:
+        return opcode | _check_reg(instr.rs1, "rs1") << 15
+    if fmt is Format.CSRR:
+        csr = _check_range(instr.csr, 0, 31, "csr")
+        return opcode | _check_reg(instr.rd, "rd") << 20 | csr << 15
+    if fmt is Format.CSRW:
+        csr = _check_range(instr.csr, 0, 31, "csr")
+        return opcode | csr << 20 | _check_reg(instr.rs1, "rs1") << 15
+    if fmt is Format.SYS:
+        return opcode
+    raise EncodingError(f"unhandled format {fmt}")  # pragma: no cover
+
+
+def decode(word: int) -> Instruction:
+    """Decode a 32-bit word back to an :class:`Instruction`."""
+    if not 0 <= word <= 0xFFFF_FFFF:
+        raise EncodingError(f"instruction word out of range: {word:#x}")
+    opcode = word >> 25
+    mnemonic = MNEMONIC_OF.get(opcode)
+    if mnemonic is None:
+        raise EncodingError(f"unknown opcode {opcode} in word {word:#010x}")
+    fmt = Instruction(mnemonic).spec.format
+    rd = (word >> 20) & 0x1F
+    rs1 = (word >> 15) & 0x1F
+    rs2 = (word >> 10) & 0x1F
+    if fmt is Format.R3:
+        return Instruction(mnemonic, rd=rd, rs1=rs1, rs2=rs2)
+    if fmt in (Format.I, Format.LOAD):
+        return Instruction(mnemonic, rd=rd, rs1=rs1, imm=to_signed(word & 0x7FFF, 15))
+    if fmt is Format.LUI:
+        return Instruction(mnemonic, rd=rd, imm=word & 0xF_FFFF)
+    if fmt in (Format.STORE, Format.BRANCH):
+        return Instruction(
+            mnemonic, rs1=rs1, rs2=rs2, imm=to_signed(word & 0x3FF, 10)
+        )
+    if fmt is Format.JUMP:
+        return Instruction(mnemonic, imm=word & 0x1FF_FFFF)
+    if fmt is Format.JR:
+        return Instruction(mnemonic, rs1=rs1)
+    if fmt is Format.CSRR:
+        return Instruction(mnemonic, rd=rd, csr=rs1)
+    if fmt is Format.CSRW:
+        return Instruction(mnemonic, csr=rd, rs1=rs1)
+    return Instruction(mnemonic)

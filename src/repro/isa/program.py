@@ -1,0 +1,92 @@
+"""Container for an assembled self-test program.
+
+A :class:`Program` is position-dependent only through its jump targets;
+the builder and assembler produce programs with a chosen base address and
+the SoC loader (``repro.soc.loader``) can relocate them by re-assembling
+at a different origin when exploring code-position scenarios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.encoding import encode
+from repro.isa.instructions import Instruction
+
+
+@dataclass
+class Program:
+    """An assembled program: code, initialised data, and symbols.
+
+    Attributes:
+        code: the instruction sequence, in address order.
+        base_address: byte address of ``code[0]`` (must be word-aligned).
+        data: mapping of byte address -> initialised 32-bit data word.
+        symbols: label -> byte address.
+        name: human-readable identifier used in reports.
+    """
+
+    code: list[Instruction]
+    base_address: int = 0
+    data: dict[int, int] = field(default_factory=dict)
+    symbols: dict[str, int] = field(default_factory=dict)
+    name: str = "program"
+
+    def __post_init__(self):
+        if self.base_address % 4:
+            raise ValueError(
+                f"base address {self.base_address:#x} is not word-aligned"
+            )
+
+    @property
+    def size_bytes(self) -> int:
+        """Code footprint in bytes (the paper's memory-overhead metric)."""
+        return len(self.code) * 4
+
+    @property
+    def end_address(self) -> int:
+        """First byte address past the last instruction."""
+        return self.base_address + self.size_bytes
+
+    def address_of(self, index: int) -> int:
+        """Byte address of ``code[index]``."""
+        return self.base_address + 4 * index
+
+    def index_of(self, address: int) -> int:
+        """Index into ``code`` of the instruction at byte ``address``."""
+        offset = address - self.base_address
+        if offset % 4 or not 0 <= offset < self.size_bytes:
+            raise IndexError(f"address {address:#x} not inside program")
+        return offset // 4
+
+    def encoded_words(self) -> list[int]:
+        """The code as encoded 32-bit words, in address order."""
+        return [encode(instr) for instr in self.code]
+
+    def image(self) -> dict[int, int]:
+        """Full memory image: code and data words keyed by byte address."""
+        memory = {
+            self.address_of(i): word for i, word in enumerate(self.encoded_words())
+        }
+        for address, word in self.data.items():
+            if address in memory:
+                raise ValueError(
+                    f"data word at {address:#x} overlaps program code"
+                )
+            memory[address] = word & 0xFFFF_FFFF
+        return memory
+
+    def listing(self) -> str:
+        """Disassembly listing (re-assemblable: addresses are comments)."""
+        labels_at: dict[int, list[str]] = {}
+        for label, address in self.symbols.items():
+            labels_at.setdefault(address, []).append(label)
+        lines = [f".org {self.base_address:#x}", f".name {self.name}"]
+        for address, word in sorted(self.data.items()):
+            lines.append(f".word {address:#x}, {word:#x}")
+        for i, instr in enumerate(self.code):
+            address = self.address_of(i)
+            for label in labels_at.get(address, ()):
+                lines.append(f"{label}:")
+            lines.append(f"  {instr}  # {address:#010x}")
+        return "\n".join(lines)

@@ -1,0 +1,41 @@
+"""Memory subsystem: caches, flash, SRAM, TCMs, shared bus, address map."""
+
+from repro.mem.bus import BusStats, SystemBus, Transaction, TxnKind
+from repro.mem.cache import Cache, CacheConfig, CacheStats, FillPlan
+from repro.mem.device import MemoryDevice
+from repro.mem.flash import Flash
+from repro.mem.memmap import (
+    DTCM_BASE,
+    FLASH_BASE,
+    ITCM_BASE,
+    SRAM_BASE,
+    MemoryMap,
+    dtcm_base,
+    is_cacheable,
+    itcm_base,
+)
+from repro.mem.sram import Sram
+from repro.mem.tcm import Tcm
+
+__all__ = [
+    "BusStats",
+    "SystemBus",
+    "Transaction",
+    "TxnKind",
+    "Cache",
+    "CacheConfig",
+    "CacheStats",
+    "FillPlan",
+    "MemoryDevice",
+    "Flash",
+    "MemoryMap",
+    "Sram",
+    "Tcm",
+    "FLASH_BASE",
+    "SRAM_BASE",
+    "ITCM_BASE",
+    "DTCM_BASE",
+    "dtcm_base",
+    "is_cacheable",
+    "itcm_base",
+]

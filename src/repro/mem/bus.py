@@ -1,0 +1,137 @@
+"""Shared system bus with round-robin arbitration.
+
+A single transaction occupies the bus at a time (like the crossbar-less
+AHB-style interconnect of small automotive SoCs); everything else queues.
+Per-core wait-cycle statistics feed the Table I stall measurements.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import MemoryError_
+from repro.mem.memmap import MemoryMap
+
+
+class TxnKind(enum.Enum):
+    """What a bus transaction is for (used for statistics only)."""
+
+    IFETCH = "ifetch"
+    DREAD = "dread"
+    DWRITE = "dwrite"
+
+
+@dataclass
+class Transaction:
+    """One bus transaction; completed in place by :meth:`SystemBus.step`."""
+
+    core_id: int
+    kind: TxnKind
+    address: int
+    burst_words: int = 1
+    is_write: bool = False
+    write_values: list[int] = field(default_factory=list)
+    byte_write: bool = False
+    #: Atomic test-and-set: return the old word, then write 1, all
+    #: within this single (indivisible) transaction.
+    atomic_set: bool = False
+    submit_cycle: int = 0
+    grant_cycle: int | None = None
+    complete_cycle: int | None = None
+    done: bool = False
+    data: list[int] = field(default_factory=list)
+
+
+@dataclass
+class BusStats:
+    """Aggregate per-core bus statistics."""
+
+    transactions: int = 0
+    wait_cycles: int = 0
+    busy_cycles: int = 0
+
+
+class SystemBus:
+    """Single-master-at-a-time shared bus with round-robin core priority."""
+
+    def __init__(self, memmap: MemoryMap, num_cores: int):
+        self.memmap = memmap
+        self.num_cores = num_cores
+        self._queue: list[Transaction] = []
+        self._current: Transaction | None = None
+        self._rr_next = 0
+        self.stats = {core: BusStats() for core in range(num_cores)}
+        self.total_grants = 0
+
+    def submit(self, txn: Transaction, cycle: int) -> Transaction:
+        """Queue a transaction; it completes when ``txn.done`` turns True."""
+        if txn.core_id >= self.num_cores:
+            raise MemoryError_(f"unknown bus master {txn.core_id}")
+        txn.submit_cycle = cycle
+        self._queue.append(txn)
+        return txn
+
+    @property
+    def idle(self) -> bool:
+        """True when no transaction is in flight or waiting."""
+        return self._current is None and not self._queue
+
+    def step(self, cycle: int) -> None:
+        """Advance the bus by one clock cycle.
+
+        Completion is checked before arbitration so a transaction whose
+        time has elapsed frees the bus for a new grant in the same cycle.
+        """
+        current = self._current
+        if current is not None:
+            if cycle >= current.complete_cycle:
+                self._finish(current)
+                self._current = None
+            else:
+                self.stats[current.core_id].busy_cycles += 1
+        if self._current is None and self._queue:
+            self._grant(cycle)
+        for txn in self._queue:
+            self.stats[txn.core_id].wait_cycles += 1
+
+    def _grant(self, cycle: int) -> None:
+        chosen = None
+        for offset in range(self.num_cores):
+            core = (self._rr_next + offset) % self.num_cores
+            for txn in self._queue:
+                if txn.core_id == core:
+                    chosen = txn
+                    break
+            if chosen is not None:
+                break
+        if chosen is None:  # pragma: no cover - queue non-empty implies a hit
+            return
+        self._queue.remove(chosen)
+        device = self.memmap.route(chosen.address)
+        latency = device.access_cycles(
+            chosen.address, chosen.is_write, chosen.burst_words
+        )
+        chosen.grant_cycle = cycle
+        chosen.complete_cycle = cycle + latency
+        self._current = chosen
+        self._rr_next = (chosen.core_id + 1) % self.num_cores
+        self.total_grants += 1
+        self.stats[chosen.core_id].transactions += 1
+
+    def _finish(self, txn: Transaction) -> None:
+        device = self.memmap.route(txn.address)
+        if txn.atomic_set:
+            txn.data = [device.read_word(txn.address)]
+            device.write_word(txn.address, 1)
+            txn.done = True
+            return
+        if txn.is_write:
+            if txn.byte_write:
+                device.write_byte(txn.address, txn.write_values[0])
+            else:
+                for i, value in enumerate(txn.write_values):
+                    device.write_word(txn.address + 4 * i, value)
+        else:
+            txn.data = device.read_burst(txn.address, txn.burst_words)
+        txn.done = True

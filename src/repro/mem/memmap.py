@@ -1,0 +1,69 @@
+"""SoC address map and device routing."""
+
+from __future__ import annotations
+
+from repro.errors import MemoryError_
+from repro.mem.device import MemoryDevice
+
+#: Default address-map constants used by the stock SoC configuration.
+#: The TCM windows sit below 0x0800_0000 so the 25-bit word-address
+#: ``J``/``JAL`` range covers them (the TCM strategy jumps into the
+#: I-TCM).
+FLASH_BASE = 0x0000_0000
+SRAM_BASE = 0x2000_0000
+ITCM_BASE = 0x0400_0000
+DTCM_BASE = 0x0500_0000
+TCM_STRIDE = 0x0010_0000  # per-core spacing of the private TCM windows
+
+
+class MemoryMap:
+    """Routes physical addresses to bus devices and answers cacheability."""
+
+    def __init__(self):
+        self._devices: list[MemoryDevice] = []
+
+    def add(self, device: MemoryDevice) -> MemoryDevice:
+        """Register a device; regions must not overlap."""
+        for existing in self._devices:
+            if (
+                device.base < existing.base + existing.size
+                and existing.base < device.base + device.size
+            ):
+                raise MemoryError_(
+                    f"{device.name} overlaps {existing.name} in the address map"
+                )
+        self._devices.append(device)
+        return device
+
+    def route(self, address: int) -> MemoryDevice:
+        """Return the device containing ``address``."""
+        for device in self._devices:
+            if device.contains(address):
+                return device
+        raise MemoryError_(f"address {address:#010x} is unmapped")
+
+    def try_route(self, address: int) -> MemoryDevice | None:
+        """Like :meth:`route` but returns None instead of raising."""
+        for device in self._devices:
+            if device.contains(address):
+                return device
+        return None
+
+    @property
+    def devices(self) -> tuple[MemoryDevice, ...]:
+        return tuple(self._devices)
+
+
+def is_cacheable(address: int) -> bool:
+    """Flash and SRAM are cacheable; the private TCM windows are not."""
+    return address < ITCM_BASE or address >= SRAM_BASE
+
+
+def itcm_base(core_id: int) -> int:
+    """Base address of core ``core_id``'s instruction TCM."""
+    return ITCM_BASE + core_id * TCM_STRIDE
+
+
+def dtcm_base(core_id: int) -> int:
+    """Base address of core ``core_id``'s data TCM."""
+    return DTCM_BASE + core_id * TCM_STRIDE

@@ -1,0 +1,15 @@
+"""Shared on-chip system RAM."""
+
+from __future__ import annotations
+
+from repro.mem.device import MemoryDevice
+
+
+class Sram(MemoryDevice):
+    """Shared SRAM holding the STL's data buffers and scheduler state.
+
+    A fixed pipelined access latency plus one cycle per extra burst word.
+    """
+
+    def __init__(self, base: int = 0x2000_0000, size: int = 1 << 20, latency: int = 2):
+        super().__init__("sram", base, size, latency)

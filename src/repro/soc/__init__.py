@@ -1,0 +1,40 @@
+"""SoC assembly: configuration, cores+bus+memories, loader, scheduler."""
+
+from repro.soc.config import DEFAULT_SOC_CONFIG, SocConfig
+from repro.soc.debugger import CoreStallReport, StallMonitor, StallReport
+from repro.soc.scheduler import (
+    CoreSchedule,
+    DynamicSchedulerLayout,
+    ParallelSchedule,
+    build_dispatch_program,
+    build_dynamic_dispatch_program,
+    load_parallel_session,
+)
+from repro.soc.loader import (
+    CORE_COPY_STRIDE,
+    CodeAlignment,
+    CodePosition,
+    place,
+    placement_address,
+)
+from repro.soc.soc import Soc
+
+__all__ = [
+    "CoreSchedule",
+    "DynamicSchedulerLayout",
+    "ParallelSchedule",
+    "build_dispatch_program",
+    "build_dynamic_dispatch_program",
+    "load_parallel_session",
+    "DEFAULT_SOC_CONFIG",
+    "SocConfig",
+    "CoreStallReport",
+    "StallMonitor",
+    "StallReport",
+    "CORE_COPY_STRIDE",
+    "CodeAlignment",
+    "CodePosition",
+    "place",
+    "placement_address",
+    "Soc",
+]

@@ -1,0 +1,74 @@
+"""Program placement: the code-position and alignment scenarios.
+
+Section IV-C varies, besides the number of active cores, the *code
+position in memory* (low, mid and high flash addresses) and the *code
+alignment* (word, double-word, double double-word).  Both parameters
+shift the phase of every fetch group relative to the flash prefetch
+buffer and the bus-arbitration pattern, which is what makes the
+no-cache multi-core fault coverage oscillate.
+
+Programs here are position-dependent (absolute ``J`` targets), so a
+routine is *re-built* at its placed base address rather than copied.
+Routine generators therefore expose a ``build(base_address)`` callable.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Callable
+
+from repro.isa.program import Program
+
+
+class CodePosition(enum.Enum):
+    """Flash region where the test code is linked.
+
+    The three regions deliberately sit at different offsets within the
+    32-byte flash line (0, 8 and 24 bytes), because where the code
+    falls relative to the prefetch-buffer line decides which fetch
+    groups pay the array latency — real linkers place STL sections at
+    whatever offset the surrounding image dictates.
+    """
+
+    LOW = 0x0000_0100
+    MID = 0x0008_0008
+    HIGH = 0x000F_0018
+
+
+class CodeAlignment(enum.Enum):
+    """Base-address alignment of the routine, as an offset within the
+    16-byte double-double-word grid.
+
+    * ``QWORD`` — double double-word aligned (offset 0);
+    * ``DWORD`` — double-word aligned only (offset 8);
+    * ``WORD`` — word aligned only (offset 4): the first fetch group is
+      a single word, shifting every later group's phase.
+    """
+
+    QWORD = 0
+    DWORD = 8
+    WORD = 4
+
+
+#: Spacing between consecutive cores' copies of the routine in flash.
+#: Not a multiple of the flash line: each core's copy lands at its own
+#: sub-line phase, like independently-linked per-core STL sections.
+CORE_COPY_STRIDE = 0x4000 + 40
+
+
+def placement_address(
+    position: CodePosition, alignment: CodeAlignment, core_index: int = 0
+) -> int:
+    """Base address for core ``core_index``'s copy of the routine."""
+    base = position.value + alignment.value
+    return base + core_index * CORE_COPY_STRIDE
+
+
+def place(
+    build: Callable[[int], Program],
+    position: CodePosition,
+    alignment: CodeAlignment,
+    core_index: int = 0,
+) -> Program:
+    """Re-build a routine at its scenario-determined base address."""
+    return build(placement_address(position, alignment, core_index))

@@ -1,0 +1,61 @@
+"""Software Test Library: routines, signatures, packet-aware assembly."""
+
+from repro.stl.conventions import (
+    BODY_REGS,
+    DATA_PTR,
+    LINK_REG,
+    MAILBOX_OFFSET,
+    RESULT_FAIL,
+    RESULT_PASS,
+    RESULT_RUNNING,
+    SIG_REG,
+    WRAP_ITER,
+    WRAP_TMP,
+    scratch_base,
+)
+from repro.stl.library import SoftwareTestLibrary, build_library
+from repro.stl.packets import PhasedBuilder
+from repro.stl.routine import RoutineContext, TestRoutine, emit_epilogue, emit_testwin
+from repro.stl.runtime import (
+    RuntimeSession,
+    build_runtime_session,
+    expected_app_checksum,
+    session_verdict,
+)
+from repro.stl.signature import (
+    SIGNATURE_SEED,
+    emit_signature_init,
+    emit_signature_update,
+    signature_of,
+    signature_update,
+)
+
+__all__ = [
+    "BODY_REGS",
+    "DATA_PTR",
+    "LINK_REG",
+    "MAILBOX_OFFSET",
+    "RESULT_FAIL",
+    "RESULT_PASS",
+    "RESULT_RUNNING",
+    "SIG_REG",
+    "WRAP_ITER",
+    "WRAP_TMP",
+    "scratch_base",
+    "SoftwareTestLibrary",
+    "build_library",
+    "PhasedBuilder",
+    "RoutineContext",
+    "TestRoutine",
+    "emit_epilogue",
+    "emit_testwin",
+    "RuntimeSession",
+    "build_runtime_session",
+    "expected_app_checksum",
+    "session_verdict",
+    "SIGNATURE_SEED",
+    "emit_signature_init",
+    "emit_signature_update",
+    "signature_of",
+    "signature_update",
+]

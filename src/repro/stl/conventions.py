@@ -1,0 +1,46 @@
+"""Register and memory conventions shared by every STL routine.
+
+Keeping a fixed register split between the test *body* and the
+surrounding structure (signature accumulation, the cache-based wrapper's
+loop control) lets any single-core routine body be embedded unmodified
+into the multi-core wrapper — the property the paper highlights: "the
+methodology does not require significant modifications of the
+already-existing algorithms".
+"""
+
+from __future__ import annotations
+
+#: Signature accumulator (a register, so the verdict survives cache
+#: invalidation and never needs the memory subsystem).
+SIG_REG = 28
+#: Scratch registers used by the 4-instruction MISR update sequence.
+SIG_T0 = 26
+SIG_T1 = 27
+#: Wrapper-owned registers: scratch, the loading/execution iteration
+#: counter (0 = loading loop, 1 = execution loop; doubles as the TESTWIN
+#: value) and the subroutine link register.
+WRAP_TMP = 29
+WRAP_ITER = 30
+LINK_REG = 31
+#: Base pointer for the routine's SRAM scratch data.
+DATA_PTR = 21
+
+#: Registers a routine body may clobber freely.
+BODY_REGS = tuple(r for r in range(1, 26) if r != DATA_PTR)
+
+#: Result mailbox values written to the core's D-TCM (offset 0).
+RESULT_RUNNING = 0
+RESULT_PASS = 0x600D
+RESULT_FAIL = 0xBAD0
+
+#: Byte offset of the result mailbox inside each core's D-TCM.
+MAILBOX_OFFSET = 0
+
+#: Default per-core SRAM scratch area layout.
+SCRATCH_BASE = 0x2001_0000
+SCRATCH_STRIDE = 0x1000
+
+
+def scratch_base(core_index: int) -> int:
+    """SRAM scratch area reserved for core ``core_index``'s routines."""
+    return SCRATCH_BASE + core_index * SCRATCH_STRIDE

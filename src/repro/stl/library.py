@@ -1,0 +1,66 @@
+"""The Software Test Library: routine collections per core model.
+
+Cores A and B share one STL (same 32-bit processor model); core C gets
+its own with the 64-bit forwarding routine (Section IV-B: "two STLs were
+developed").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cpu.core import CoreModel
+from repro.stl.routine import TestRoutine
+from repro.stl.routines.background import make_background_routines
+from repro.stl.routines.forwarding import make_forwarding_routine
+from repro.stl.routines.interrupts import make_interrupt_routine
+
+
+@dataclass
+class SoftwareTestLibrary:
+    """A named collection of boot-time self-test routines."""
+
+    name: str
+    model: CoreModel
+    routines: list[TestRoutine] = field(default_factory=list)
+
+    def add(self, routine: TestRoutine) -> TestRoutine:
+        if any(existing.name == routine.name for existing in self.routines):
+            raise ValueError(f"duplicate routine name {routine.name!r}")
+        self.routines.append(routine)
+        return routine
+
+    def get(self, name: str) -> TestRoutine:
+        for routine in self.routines:
+            if routine.name == name:
+                return routine
+        raise KeyError(f"no routine named {name!r} in {self.name}")
+
+    def by_module(self, module: str) -> list[TestRoutine]:
+        """All routines targeting one module ('FWD', 'ICU', 'GEN', ...)."""
+        return [routine for routine in self.routines if routine.module == module]
+
+    @property
+    def generic_routines(self) -> list[TestRoutine]:
+        return self.by_module("GEN")
+
+
+def build_library(
+    model: CoreModel,
+    background_repeat: int = 1,
+    include_module_tests: bool = True,
+) -> SoftwareTestLibrary:
+    """Assemble the full STL for one core model.
+
+    ``include_module_tests`` adds the forwarding and imprecise-interrupt
+    routines; the Table I experiment excludes them ("their behaviour was
+    analyzed separately", Section IV-B).
+    """
+    library = SoftwareTestLibrary(name=f"stl_{model.name.lower()}", model=model)
+    for routine in make_background_routines(repeat=background_repeat):
+        library.add(routine)
+    if include_module_tests:
+        library.add(make_forwarding_routine(model, with_pcs=True))
+        library.add(make_forwarding_routine(model, with_pcs=False))
+        library.add(make_interrupt_routine(model))
+    return library

@@ -1,0 +1,23 @@
+"""STL routine generators."""
+
+from repro.stl.routines.background import make_background_routines
+from repro.stl.routines.forwarding import (
+    DATA_PATTERNS,
+    ForwardingPath,
+    all_paths,
+    make_forwarding_routine,
+)
+from repro.stl.routines.interrupts import (
+    RECOGNITION_WINDOWS,
+    make_interrupt_routine,
+)
+
+__all__ = [
+    "make_background_routines",
+    "DATA_PATTERNS",
+    "ForwardingPath",
+    "all_paths",
+    "make_forwarding_routine",
+    "RECOGNITION_WINDOWS",
+    "make_interrupt_routine",
+]

@@ -1,0 +1,170 @@
+"""Background boot-time STL routines.
+
+These are the "rest of the library": ordinary SBST routines for ALU,
+register file, branch unit, load/store unit and multiplier.  They are
+the workload running in parallel during the Table I stall measurements
+(the paper excludes the forwarding/ICU routines from that first
+experiment and analyses them separately).
+"""
+
+from __future__ import annotations
+
+from repro.stl.conventions import BODY_REGS, DATA_PTR
+from repro.stl.packets import PhasedBuilder
+from repro.stl.routine import RoutineContext, TestRoutine
+from repro.stl.signature import emit_signature_update
+from repro.utils.bitops import MASK32, rotl32
+
+_PATTERNS = (
+    0x00000000,
+    0xFFFFFFFF,
+    0xA5A5A5A5,
+    0x5A5A5A5A,
+    0x01234567,
+    0x89ABCDEF,
+    0x80000001,
+    0x7FFFFFFE,
+)
+
+
+def _emit_alu_body(asm: PhasedBuilder, ctx: RoutineContext) -> None:
+    """March every ALU operation over the data patterns."""
+    for pattern in _PATTERNS:
+        asm.li(1, pattern)
+        asm.li(2, rotl32(pattern, 7))
+        asm.align()
+        asm.add(3, 1, 2)
+        asm.sub(4, 1, 2)
+        emit_signature_update(asm, 3)
+        emit_signature_update(asm, 4)
+        asm.and_(3, 1, 2)
+        asm.or_(4, 1, 2)
+        emit_signature_update(asm, 3)
+        emit_signature_update(asm, 4)
+        asm.xor(3, 1, 2)
+        asm.nor(4, 1, 2)
+        emit_signature_update(asm, 3)
+        emit_signature_update(asm, 4)
+        asm.slt(3, 1, 2)
+        asm.sltu(4, 1, 2)
+        emit_signature_update(asm, 3)
+        emit_signature_update(asm, 4)
+        asm.andi(5, 2, 0x1F)
+        asm.sll(3, 1, 5)
+        asm.srl(4, 1, 5)
+        asm.sra(6, 1, 5)
+        emit_signature_update(asm, 3)
+        emit_signature_update(asm, 4)
+        emit_signature_update(asm, 6)
+
+
+def _emit_regfile_body(asm: PhasedBuilder, ctx: RoutineContext) -> None:
+    """Write a distinct pattern into every body register, read all back."""
+    for round_index, base in enumerate((0x13579BDF, 0xECA86420)):
+        for reg in BODY_REGS:
+            asm.li(reg, rotl32(base ^ (reg * 0x01010101), reg) & MASK32)
+        asm.align()
+        for reg in BODY_REGS:
+            emit_signature_update(asm, reg)
+
+
+def _emit_branch_body(asm: PhasedBuilder, ctx: RoutineContext) -> None:
+    """Taken/not-taken ladder over every branch condition."""
+    cases = (
+        ("beq", 5, 5, True),
+        ("beq", 5, 9, False),
+        ("bne", 5, 9, True),
+        ("bne", 5, 5, False),
+        ("blt", -3, 7, True),
+        ("blt", 7, -3, False),
+        ("bge", 7, -3, True),
+        ("bge", -3, 7, False),
+        ("bltu", 3, 0xF0000000, True),
+        ("bltu", 0xF0000000, 3, False),
+        ("bgeu", 0xF0000000, 3, True),
+        ("bgeu", 3, 0xF0000000, False),
+    )
+    for index, (mnemonic, a, b, _expect_taken) in enumerate(cases):
+        asm.li(1, a)
+        asm.li(2, b)
+        asm.li(3, 0x1111 * (index + 1))
+        asm.align()
+        taken = f"__br_taken_{index}_{asm.instruction_count}"
+        done = f"__br_done_{index}_{asm.instruction_count}"
+        getattr(asm, mnemonic)(1, 2, taken)
+        asm.xori(3, 3, 0x55)  # executed on the not-taken leg
+        asm.j(done)
+        asm.label(taken)
+        asm.xori(3, 3, 0xAA)  # executed on the taken leg
+        asm.label(done)
+        emit_signature_update(asm, 3)
+
+
+def _emit_loadstore_body(asm: PhasedBuilder, ctx: RoutineContext) -> None:
+    """Walk a scratch buffer with word and byte stores and loads."""
+    for i, pattern in enumerate(_PATTERNS):
+        asm.li(1, pattern)
+        asm.sw(1, 4 * i, DATA_PTR)
+    asm.align()
+    for i in range(len(_PATTERNS)):
+        asm.lw(2, 4 * i, DATA_PTR)
+        emit_signature_update(asm, 2)
+    # Byte lane walk within one word.
+    asm.li(1, 0xC3)
+    for lane in range(4):
+        asm.sb(1, 64 + lane, DATA_PTR)
+        asm.lbu(2, 64 + lane, DATA_PTR)
+        emit_signature_update(asm, 2)
+    asm.lw(2, 64, DATA_PTR)
+    emit_signature_update(asm, 2)
+
+
+def _emit_mul_body(asm: PhasedBuilder, ctx: RoutineContext) -> None:
+    """Multiplier / divider patterns (non-trapping operand sets)."""
+    operand_pairs = (
+        (3, 5),
+        (0xFFFF, 0xFFFF),
+        (0x12345678, 2),
+        (0x80000000, 1),
+        (0x7FFFFFFF, 2),
+        (1024, 0xFFFFF),
+    )
+    for a, b in operand_pairs:
+        asm.li(1, a)
+        asm.li(2, b)
+        asm.align()
+        asm.mul(3, 1, 2)
+        emit_signature_update(asm, 3)
+        asm.mulh(4, 1, 2)
+        emit_signature_update(asm, 4)
+        asm.divt(5, 1, 2)
+        emit_signature_update(asm, 5)
+        asm.satadd(6, 1, 2)
+        emit_signature_update(asm, 6)
+
+
+def make_background_routines(repeat: int = 1) -> list[TestRoutine]:
+    """The generic boot-time routines, optionally body-repeated.
+
+    ``repeat`` scales the workload length for the Table I experiment
+    (longer parallel execution => more bus collisions to count).
+    """
+
+    def repeated(emit):
+        def body(asm: PhasedBuilder, ctx: RoutineContext) -> None:
+            for _ in range(repeat):
+                emit(asm, ctx)
+
+        return body
+
+    specs = (
+        ("stl_alu", _emit_alu_body, "ALU operation march"),
+        ("stl_regfile", _emit_regfile_body, "Register file walk"),
+        ("stl_branch", _emit_branch_body, "Branch condition ladder"),
+        ("stl_loadstore", _emit_loadstore_body, "Load/store buffer walk"),
+        ("stl_muldiv", _emit_mul_body, "Multiplier/divider patterns"),
+    )
+    return [
+        TestRoutine(name=name, module="GEN", emit_body=repeated(emit), description=desc)
+        for name, emit, desc in specs
+    ]

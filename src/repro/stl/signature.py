@@ -1,0 +1,48 @@
+"""Test-signature accumulation (software MISR).
+
+Every observed value is compressed into a 32-bit signature with a
+rotate-and-xor step — the classic software multiple-input signature
+register.  The same function exists twice: as emitted instructions (what
+the routine executes) and as a Python model (used to derive golden
+signatures and in unit tests to check the two agree).
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import AsmBuilder
+from repro.stl.conventions import SIG_REG, SIG_T0, SIG_T1
+from repro.utils.bitops import rotl32
+
+#: Initial signature value loaded before the test body runs.
+SIGNATURE_SEED = 0x5EED_0001
+
+
+def signature_update(signature: int, value: int) -> int:
+    """One MISR step: ``sig = rotl(sig, 1) ^ value`` (Python model)."""
+    return rotl32(signature, 1) ^ (value & 0xFFFF_FFFF)
+
+
+def signature_of(values, seed: int = SIGNATURE_SEED) -> int:
+    """Fold an iterable of values into a signature (Python model)."""
+    signature = seed
+    for value in values:
+        signature = signature_update(signature, value)
+    return signature
+
+
+def emit_signature_update(asm: AsmBuilder, value_reg: int) -> None:
+    """Emit the 4-instruction MISR step folding ``value_reg`` into SIG_REG.
+
+    The first two instructions are independent and dual-issue as one
+    packet; the OR and XOR each issue alone (they depend on the packet
+    before), so the sequence has a fixed, stall-free shape of 3 packets.
+    """
+    asm.slli(SIG_T0, SIG_REG, 1)
+    asm.srli(SIG_T1, SIG_REG, 31)
+    asm.or_(SIG_REG, SIG_T0, SIG_T1)
+    asm.xor(SIG_REG, SIG_REG, value_reg)
+
+
+def emit_signature_init(asm: AsmBuilder, seed: int = SIGNATURE_SEED) -> None:
+    """Emit the signature-seed load (block *a* of the paper's Fig. 2)."""
+    asm.li(SIG_REG, seed)

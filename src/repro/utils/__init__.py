@@ -1,0 +1,33 @@
+"""Shared low-level helpers: bit manipulation, RNG, table rendering."""
+
+from repro.utils.bitops import (
+    MASK32,
+    MASK64,
+    bit,
+    bits_of,
+    mask,
+    popcount,
+    rotl32,
+    rotr32,
+    sext,
+    to_signed,
+    to_unsigned,
+)
+from repro.utils.rng import DeterministicRng
+from repro.utils.tables import format_table
+
+__all__ = [
+    "MASK32",
+    "MASK64",
+    "bit",
+    "bits_of",
+    "mask",
+    "popcount",
+    "rotl32",
+    "rotr32",
+    "sext",
+    "to_signed",
+    "to_unsigned",
+    "DeterministicRng",
+    "format_table",
+]

@@ -1,0 +1,85 @@
+"""Bit-level helpers used throughout the simulator and fault model.
+
+All word-level arithmetic in the CPU model is done on non-negative Python
+integers truncated to 32 (or 64) bits; these helpers centralise the
+masking and signedness conversions so the arithmetic code stays readable.
+"""
+
+from __future__ import annotations
+
+MASK32 = 0xFFFF_FFFF
+MASK64 = 0xFFFF_FFFF_FFFF_FFFF
+
+
+def mask(width: int) -> int:
+    """Return a mask with the ``width`` least-significant bits set."""
+    if width < 0:
+        raise ValueError(f"mask width must be non-negative, got {width}")
+    return (1 << width) - 1
+
+
+def bit(value: int, index: int) -> int:
+    """Return bit ``index`` (0 = LSB) of ``value`` as 0 or 1."""
+    return (value >> index) & 1
+
+
+def bits_of(value: int, width: int) -> list[int]:
+    """Return the ``width`` least-significant bits of ``value``, LSB first."""
+    return [(value >> i) & 1 for i in range(width)]
+
+
+def popcount(value: int) -> int:
+    """Return the number of set bits in a non-negative integer."""
+    if value < 0:
+        raise ValueError("popcount expects a non-negative integer")
+    return value.bit_count()
+
+
+def to_signed(value: int, width: int = 32) -> int:
+    """Interpret the ``width``-bit pattern ``value`` as two's complement."""
+    value &= mask(width)
+    sign = 1 << (width - 1)
+    return value - (1 << width) if value & sign else value
+
+
+def to_unsigned(value: int, width: int = 32) -> int:
+    """Truncate a (possibly negative) integer to a ``width``-bit pattern."""
+    return value & mask(width)
+
+
+def sext(value: int, from_width: int, to_width: int = 32) -> int:
+    """Sign-extend the ``from_width``-bit pattern ``value`` to ``to_width`` bits."""
+    if from_width > to_width:
+        raise ValueError(
+            f"cannot sign-extend from {from_width} to narrower {to_width} bits"
+        )
+    return to_unsigned(to_signed(value, from_width), to_width)
+
+
+def rotl32(value: int, amount: int) -> int:
+    """Rotate a 32-bit value left by ``amount`` bits."""
+    amount %= 32
+    value &= MASK32
+    return ((value << amount) | (value >> (32 - amount))) & MASK32 if amount else value
+
+
+def rotr32(value: int, amount: int) -> int:
+    """Rotate a 32-bit value right by ``amount`` bits."""
+    return rotl32(value, (32 - amount) % 32)
+
+
+def align_down(value: int, alignment: int) -> int:
+    """Round ``value`` down to a multiple of ``alignment`` (a power of two)."""
+    if alignment & (alignment - 1):
+        raise ValueError(f"alignment must be a power of two, got {alignment}")
+    return value & ~(alignment - 1)
+
+
+def align_up(value: int, alignment: int) -> int:
+    """Round ``value`` up to a multiple of ``alignment`` (a power of two)."""
+    return align_down(value + alignment - 1, alignment)
+
+
+def is_aligned(value: int, alignment: int) -> bool:
+    """Return True when ``value`` is a multiple of power-of-two ``alignment``."""
+    return align_down(value, alignment) == value

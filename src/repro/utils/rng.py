@@ -1,0 +1,52 @@
+"""A tiny deterministic pseudo-random generator.
+
+The simulator must be bit-for-bit reproducible across runs and Python
+versions, so the few places that need pseudo-randomness (physical-design
+variation in netlist generation, initial SoC phase offsets) use this
+xorshift generator instead of :mod:`random`.
+"""
+
+from __future__ import annotations
+
+from repro.utils.bitops import MASK64
+
+
+class DeterministicRng:
+    """xorshift64* generator with a required explicit seed."""
+
+    def __init__(self, seed: int):
+        if seed <= 0:
+            raise ValueError("seed must be a positive integer")
+        self._state = seed & MASK64
+
+    def next_u64(self) -> int:
+        """Return the next 64-bit value of the stream."""
+        x = self._state
+        x ^= (x >> 12) & MASK64
+        x = (x ^ (x << 25)) & MASK64
+        x ^= (x >> 27) & MASK64
+        self._state = x
+        return (x * 0x2545F4914F6CDD1D) & MASK64
+
+    def next_u32(self) -> int:
+        """Return the next 32-bit value of the stream."""
+        return self.next_u64() >> 32
+
+    def randint(self, low: int, high: int) -> int:
+        """Return a value in the inclusive range [low, high]."""
+        if high < low:
+            raise ValueError(f"empty range [{low}, {high}]")
+        span = high - low + 1
+        return low + self.next_u64() % span
+
+    def choice(self, items):
+        """Return a pseudo-random element of a non-empty sequence."""
+        if not items:
+            raise ValueError("cannot choose from an empty sequence")
+        return items[self.randint(0, len(items) - 1)]
+
+    def shuffle(self, items: list) -> None:
+        """Shuffle ``items`` in place (Fisher-Yates)."""
+        for i in range(len(items) - 1, 0, -1):
+            j = self.randint(0, i)
+            items[i], items[j] = items[j], items[i]

@@ -1,0 +1,61 @@
+"""Plain-text table rendering for experiment reports.
+
+The benchmark harness prints tables shaped like the ones in the paper;
+this module renders them without any third-party dependency.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render rows as an ASCII table with a separator under the header.
+
+    Cell values are converted with :func:`str`; numeric cells are
+    right-aligned, text cells left-aligned.
+    """
+    cells = [[str(value) for value in row] for row in rows]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+    widths = [len(header) for header in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    numeric = [
+        all(_is_numeric(row[i]) for row in cells) if cells else False
+        for i in range(len(headers))
+    ]
+
+    def render_row(row: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(row):
+            parts.append(cell.rjust(widths[i]) if numeric[i] else cell.ljust(widths[i]))
+        return "| " + " | ".join(parts) + " |"
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(list(headers)))
+    lines.append("|-" + "-|-".join("-" * w for w in widths) + "-|")
+    lines.extend(render_row(row) for row in cells)
+    return "\n".join(lines)
+
+
+def _is_numeric(text: str) -> bool:
+    stripped = text.replace(",", "").replace("%", "").strip()
+    if not stripped:
+        return False
+    try:
+        float(stripped)
+    except ValueError:
+        return False
+    return True

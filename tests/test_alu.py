@@ -1,0 +1,130 @@
+"""Functional tests of the ALU, including trap conditions."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cpu.alu import branch_taken, execute_alu, execute_alu64, execute_imm
+from repro.errors import SimulationError
+from repro.isa.instructions import Event, Mnemonic
+from repro.utils.bitops import MASK32, MASK64, to_signed, to_unsigned
+
+u32 = st.integers(min_value=0, max_value=MASK32)
+u64 = st.integers(min_value=0, max_value=MASK64)
+
+
+@given(u32, u32)
+def test_add_sub_match_python(a, b):
+    assert execute_alu(Mnemonic.ADD, a, b)[0] == (a + b) & MASK32
+    assert execute_alu(Mnemonic.SUB, a, b)[0] == (a - b) & MASK32
+
+
+@given(u32, u32)
+def test_logic_ops(a, b):
+    assert execute_alu(Mnemonic.AND, a, b)[0] == a & b
+    assert execute_alu(Mnemonic.OR, a, b)[0] == a | b
+    assert execute_alu(Mnemonic.XOR, a, b)[0] == a ^ b
+    assert execute_alu(Mnemonic.NOR, a, b)[0] == ~(a | b) & MASK32
+
+
+@given(u32, u32)
+def test_comparisons(a, b):
+    assert execute_alu(Mnemonic.SLT, a, b)[0] == int(to_signed(a) < to_signed(b))
+    assert execute_alu(Mnemonic.SLTU, a, b)[0] == int(a < b)
+
+
+@given(u32, st.integers(min_value=0, max_value=31))
+def test_shifts(a, amount):
+    assert execute_alu(Mnemonic.SLL, a, amount)[0] == (a << amount) & MASK32
+    assert execute_alu(Mnemonic.SRL, a, amount)[0] == a >> amount
+    assert execute_alu(Mnemonic.SRA, a, amount)[0] == to_unsigned(
+        to_signed(a) >> amount
+    )
+
+
+@given(u32, u32)
+def test_mul_and_mulh(a, b):
+    assert execute_alu(Mnemonic.MUL, a, b)[0] == (a * b) & MASK32
+    assert execute_alu(Mnemonic.MULH, a, b)[0] == to_unsigned(
+        (to_signed(a) * to_signed(b)) >> 32
+    )
+
+
+def test_addo_overflow_event():
+    result, event = execute_alu(Mnemonic.ADDO, 0x7FFFFFFF, 1)
+    assert event is Event.OVF_ADD and result == 0x80000000
+    assert execute_alu(Mnemonic.ADDO, 1, 2) == (3, None)
+
+
+def test_subo_overflow_event():
+    _, event = execute_alu(Mnemonic.SUBO, 0x80000000, 1)
+    assert event is Event.OVF_SUB
+    assert execute_alu(Mnemonic.SUBO, 5, 3)[1] is None
+
+
+def test_mulo_overflow_event():
+    _, event = execute_alu(Mnemonic.MULO, 0x10000, 0x10000)
+    assert event is Event.OVF_MUL
+    assert execute_alu(Mnemonic.MULO, 100, 100)[1] is None
+
+
+def test_satadd_saturates_both_ways():
+    result, event = execute_alu(Mnemonic.SATADD, 0x7FFFFFFF, 0x7FFFFFFF)
+    assert event is Event.SAT and result == 0x7FFFFFFF
+    result, event = execute_alu(Mnemonic.SATADD, 0x80000000, 0x80000000)
+    assert event is Event.SAT and result == 0x80000000
+    assert execute_alu(Mnemonic.SATADD, 1, 1) == (2, None)
+
+
+def test_divt_division_and_div0():
+    assert execute_alu(Mnemonic.DIVT, 7, 2) == (3, None)
+    assert execute_alu(Mnemonic.DIVT, to_unsigned(-7), 2)[0] == to_unsigned(-3)
+    result, event = execute_alu(Mnemonic.DIVT, 5, 0)
+    assert event is Event.DIV0 and result == 0
+
+
+def test_sllo_shift_overflow():
+    _, event = execute_alu(Mnemonic.SLLO, 0xF0000000, 4)
+    assert event is Event.SHIFTO
+    assert execute_alu(Mnemonic.SLLO, 1, 4)[1] is None
+    assert execute_alu(Mnemonic.SLLO, 0xF0000000, 0)[1] is None
+
+
+def test_non_alu_mnemonic_rejected():
+    with pytest.raises(SimulationError):
+        execute_alu(Mnemonic.LW, 0, 0)
+    with pytest.raises(SimulationError):
+        execute_alu64(Mnemonic.ADD, 0, 0)
+    with pytest.raises(SimulationError):
+        execute_imm(Mnemonic.ADD, 0, 0)
+    with pytest.raises(SimulationError):
+        branch_taken(Mnemonic.ADD, 0, 0)
+
+
+@given(u64, u64)
+def test_alu64_semantics(a, b):
+    assert execute_alu64(Mnemonic.ADD64, a, b) == (a + b) & MASK64
+    assert execute_alu64(Mnemonic.SUB64, a, b) == (a - b) & MASK64
+    assert execute_alu64(Mnemonic.XOR64, a, b) == a ^ b
+    assert execute_alu64(Mnemonic.AND64, a, b) == a & b
+    assert execute_alu64(Mnemonic.OR64, a, b) == a | b
+
+
+@given(u32)
+def test_immediates(a):
+    assert execute_imm(Mnemonic.ADDI, a, -1) == (a - 1) & MASK32
+    assert execute_imm(Mnemonic.ANDI, a, 0xFF) == a & 0xFF
+    assert execute_imm(Mnemonic.ORI, a, 0x0F0) == a | 0xF0
+    assert execute_imm(Mnemonic.XORI, a, 0x55) == a ^ 0x55
+    assert execute_imm(Mnemonic.SLLI, a, 3) == (a << 3) & MASK32
+    assert execute_imm(Mnemonic.SRLI, a, 3) == a >> 3
+
+
+@given(u32, u32)
+def test_branch_conditions(a, b):
+    assert branch_taken(Mnemonic.BEQ, a, b) == (a == b)
+    assert branch_taken(Mnemonic.BNE, a, b) == (a != b)
+    assert branch_taken(Mnemonic.BLT, a, b) == (to_signed(a) < to_signed(b))
+    assert branch_taken(Mnemonic.BGE, a, b) == (to_signed(a) >= to_signed(b))
+    assert branch_taken(Mnemonic.BLTU, a, b) == (a < b)
+    assert branch_taken(Mnemonic.BGEU, a, b) == (a >= b)

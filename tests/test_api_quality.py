@@ -1,0 +1,75 @@
+"""Release-quality checks on the public API surface.
+
+Every public module, class and function of the package must carry a
+docstring, and the top-level ``__all__`` must resolve.  These tests
+keep the documentation contract honest as the library evolves.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.isa",
+    "repro.mem",
+    "repro.cpu",
+    "repro.soc",
+    "repro.stl",
+    "repro.stl.routines",
+    "repro.core",
+    "repro.faults",
+    "repro.analysis",
+    "repro.utils",
+]
+
+
+def iter_public_modules():
+    for name in PACKAGES:
+        module = importlib.import_module(name)
+        yield module
+        for info in pkgutil.iter_modules(module.__path__, prefix=name + "."):
+            if info.name.rsplit(".", 1)[-1].startswith("_"):
+                continue
+            yield importlib.import_module(info.name)
+
+
+def test_every_module_has_a_docstring():
+    missing = [
+        module.__name__
+        for module in iter_public_modules()
+        if not (module.__doc__ or "").strip()
+    ]
+    assert not missing, f"modules without docstrings: {missing}"
+
+
+def test_public_classes_and_functions_documented():
+    missing = []
+    for module in iter_public_modules():
+        for name, item in vars(module).items():
+            if name.startswith("_"):
+                continue
+            if getattr(item, "__module__", None) != module.__name__:
+                continue
+            if inspect.isclass(item) or inspect.isfunction(item):
+                if not (item.__doc__ or "").strip():
+                    missing.append(f"{module.__name__}.{name}")
+    assert not missing, f"undocumented public items: {missing}"
+
+
+def test_top_level_all_resolves():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_subpackage_all_resolves():
+    for package in PACKAGES[1:]:
+        module = importlib.import_module(package)
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), f"{package}.{name}"
+
+
+def test_version_string():
+    assert repro.__version__.count(".") == 2

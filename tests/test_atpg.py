@@ -1,0 +1,80 @@
+"""Tests of the random-pattern ATPG ceiling analysis."""
+
+from repro.cpu.core import CORE_MODEL_A
+from repro.faults.atpg import (
+    forwarding_ceiling,
+    forwarding_select_constraint,
+    random_pattern_atpg,
+)
+from repro.faults.gates import GateKind
+from repro.faults.netlist import Netlist
+
+
+def tiny_netlist():
+    nl = Netlist("tiny")
+    a, b = nl.add_input_bus("in", 2)
+    out = nl.add_gate(GateKind.XOR, a, b)
+    nl.mark_output_bus("out", [out])
+    return nl
+
+
+def test_fully_testable_netlist_reaches_100():
+    result = random_pattern_atpg(tiny_netlist(), patterns_per_round=16)
+    assert result.ceiling_percent == 100.0
+    assert result.rounds >= 1
+
+
+def test_unobserved_logic_caps_the_ceiling():
+    nl = Netlist("capped")
+    a, b = nl.add_input_bus("in", 2)
+    seen = nl.add_gate(GateKind.AND, a, b)
+    nl.add_gate(GateKind.OR, a, b)  # unobserved cone
+    nl.mark_output_bus("out", [seen])
+    result = random_pattern_atpg(nl)
+    assert result.ceiling_percent < 100.0
+
+
+def test_atpg_is_deterministic():
+    first = random_pattern_atpg(tiny_netlist(), seed=7)
+    second = random_pattern_atpg(tiny_netlist(), seed=7)
+    assert first == second
+
+
+def test_dry_round_early_stop():
+    result = random_pattern_atpg(
+        tiny_netlist(), patterns_per_round=64, max_rounds=24, dry_rounds=2
+    )
+    assert result.rounds < 24
+
+
+def test_forwarding_constraint_keeps_selects_one_hot():
+    from repro.faults.generators import get_modules
+    from repro.utils.rng import DeterministicRng
+
+    netlist = get_modules(CORE_MODEL_A).forwarding[(0, 0)]
+    constrain = forwarding_select_constraint(netlist)
+    inputs = {net: 0xFFFF for net in netlist.input_nets}
+    constrained = constrain(inputs, DeterministicRng(5), 16)
+    sel = [constrained[net] for net in netlist.inputs["sel"]]
+    for t in range(16):
+        assert sum((value >> t) & 1 for value in sel) == 1
+    for net in netlist.inputs["sel_x"]:
+        assert constrained[net] == 0
+
+
+def test_routine_is_close_to_functional_ceiling():
+    """The cached routine's ~80 % sits within a few percent of the
+    ideal-algorithm ceiling — the paper's 'improving the algorithm was
+    out of scope' context, quantified."""
+    ceiling = forwarding_ceiling(CORE_MODEL_A).ceiling_percent
+    # From the Table II campaign: the cache-based run reaches ~80 %.
+    assert 75.0 < ceiling < 90.0
+
+
+def test_unconstrained_ceiling_is_higher_than_functional():
+    from repro.faults.generators import get_modules
+
+    netlist = get_modules(CORE_MODEL_A).forwarding[(0, 0)]
+    unconstrained = random_pattern_atpg(netlist)
+    functional = forwarding_ceiling(CORE_MODEL_A)
+    assert unconstrained.ceiling_percent > functional.ceiling_percent

@@ -1,0 +1,115 @@
+"""Unit + property tests for repro.utils.bitops."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.bitops import (
+    MASK32,
+    align_down,
+    align_up,
+    bit,
+    bits_of,
+    is_aligned,
+    mask,
+    popcount,
+    rotl32,
+    rotr32,
+    sext,
+    to_signed,
+    to_unsigned,
+)
+
+u32 = st.integers(min_value=0, max_value=MASK32)
+
+
+def test_mask_widths():
+    assert mask(0) == 0
+    assert mask(1) == 1
+    assert mask(32) == MASK32
+    assert mask(5) == 0b11111
+
+
+def test_mask_negative_rejected():
+    with pytest.raises(ValueError):
+        mask(-1)
+
+
+def test_bit_extraction():
+    assert bit(0b1010, 1) == 1
+    assert bit(0b1010, 0) == 0
+    assert bit(1 << 31, 31) == 1
+
+
+def test_bits_of_lsb_first():
+    assert bits_of(0b1101, 4) == [1, 0, 1, 1]
+
+
+def test_popcount_values():
+    assert popcount(0) == 0
+    assert popcount(0xFF) == 8
+    assert popcount(MASK32) == 32
+
+
+def test_popcount_rejects_negative():
+    with pytest.raises(ValueError):
+        popcount(-1)
+
+
+def test_to_signed_boundaries():
+    assert to_signed(0x7FFF_FFFF) == 2**31 - 1
+    assert to_signed(0x8000_0000) == -(2**31)
+    assert to_signed(MASK32) == -1
+
+
+def test_to_unsigned_negative():
+    assert to_unsigned(-1) == MASK32
+    assert to_unsigned(-(2**31)) == 0x8000_0000
+
+
+def test_sext_widths():
+    assert sext(0b1000, 4) == to_unsigned(-8)
+    assert sext(0b0111, 4) == 7
+    with pytest.raises(ValueError):
+        sext(1, 33, 32)
+
+
+def test_rotl32_known():
+    assert rotl32(0x8000_0000, 1) == 1
+    assert rotl32(1, 31) == 0x8000_0000
+    assert rotl32(0xDEADBEEF, 0) == 0xDEADBEEF
+
+
+def test_align_helpers():
+    assert align_down(0x1234, 16) == 0x1230
+    assert align_up(0x1234, 16) == 0x1240
+    assert align_up(0x1230, 16) == 0x1230
+    assert is_aligned(0x1230, 16)
+    assert not is_aligned(0x1234, 16)
+
+
+def test_align_rejects_non_power_of_two():
+    with pytest.raises(ValueError):
+        align_down(10, 12)
+
+
+@given(u32)
+def test_signed_unsigned_roundtrip(value):
+    assert to_unsigned(to_signed(value)) == value
+
+
+@given(u32, st.integers(min_value=0, max_value=63))
+def test_rotl_rotr_inverse(value, amount):
+    assert rotr32(rotl32(value, amount), amount) == value
+
+
+@given(u32, st.integers(min_value=0, max_value=31))
+def test_rotl_preserves_popcount(value, amount):
+    assert popcount(rotl32(value, amount)) == popcount(value)
+
+
+@given(st.integers(min_value=0, max_value=2**20), st.sampled_from([1, 2, 4, 8, 16]))
+def test_align_down_le_up(value, alignment):
+    down, up = align_down(value, alignment), align_up(value, alignment)
+    assert down <= value <= up
+    assert up - down in (0, alignment)

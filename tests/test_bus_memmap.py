@@ -1,0 +1,153 @@
+"""Tests for the shared bus and the address map."""
+
+import pytest
+
+from repro.errors import MemoryError_
+from repro.mem.bus import SystemBus, Transaction, TxnKind
+from repro.mem.device import MemoryDevice
+from repro.mem.memmap import (
+    DTCM_BASE,
+    ITCM_BASE,
+    SRAM_BASE,
+    MemoryMap,
+    dtcm_base,
+    is_cacheable,
+    itcm_base,
+)
+
+
+def make_bus(num_cores: int = 2, latency: int = 3):
+    memmap = MemoryMap()
+    device = MemoryDevice("ram", 0, 0x1000, latency=latency)
+    memmap.add(device)
+    return SystemBus(memmap, num_cores), device
+
+
+def step_until_done(bus, txn, limit=100):
+    cycle = 0
+    while not txn.done and cycle < limit:
+        cycle += 1
+        bus.step(cycle)
+    assert txn.done, "transaction never completed"
+    return cycle
+
+
+def test_single_read_latency():
+    bus, device = make_bus(latency=3)
+    device.write_word(0x10, 77)
+    txn = bus.submit(Transaction(0, TxnKind.DREAD, 0x10), cycle=0)
+    cycles = step_until_done(bus, txn)
+    assert txn.data == [77]
+    # Grant on cycle 1, completes at grant + latency.
+    assert cycles == 1 + 3
+
+
+def test_write_transaction_applies_at_completion():
+    bus, device = make_bus()
+    txn = bus.submit(
+        Transaction(0, TxnKind.DWRITE, 0x20, is_write=True, write_values=[5]),
+        cycle=0,
+    )
+    bus.step(1)
+    assert device.read_word(0x20) == 0  # not yet applied
+    step_until_done(bus, txn)
+    assert device.read_word(0x20) == 5
+
+
+def test_byte_write_transaction():
+    bus, device = make_bus()
+    device.write_word(0x30, 0x11223344)
+    txn = bus.submit(
+        Transaction(
+            0, TxnKind.DWRITE, 0x31, is_write=True, write_values=[0xAA],
+            byte_write=True,
+        ),
+        cycle=0,
+    )
+    step_until_done(bus, txn)
+    assert device.read_word(0x30) == 0x1122AA44
+
+
+def test_burst_read():
+    bus, device = make_bus()
+    for i in range(4):
+        device.write_word(0x40 + 4 * i, i)
+    txn = bus.submit(Transaction(0, TxnKind.IFETCH, 0x40, burst_words=4), 0)
+    step_until_done(bus, txn)
+    assert txn.data == [0, 1, 2, 3]
+
+
+def test_one_transaction_at_a_time():
+    bus, _ = make_bus(latency=4)
+    a = bus.submit(Transaction(0, TxnKind.DREAD, 0x0), 0)
+    b = bus.submit(Transaction(0, TxnKind.DREAD, 0x4), 0)
+    bus.step(1)
+    assert a.grant_cycle == 1 and b.grant_cycle is None
+    step_until_done(bus, b)
+    assert b.grant_cycle > a.complete_cycle - 1
+
+
+def test_round_robin_fairness():
+    bus, _ = make_bus(num_cores=2, latency=2)
+    txns = [
+        bus.submit(Transaction(core, TxnKind.DREAD, 0x0), 0)
+        for core in (0, 0, 1)
+    ]
+    for cycle in range(1, 50):
+        bus.step(cycle)
+    # Core 1's request must be granted before core 0's *second* request.
+    assert txns[2].grant_cycle < txns[1].grant_cycle
+
+
+def test_wait_cycle_accounting():
+    bus, _ = make_bus(num_cores=2, latency=5)
+    bus.submit(Transaction(0, TxnKind.DREAD, 0x0), 0)
+    waiting = bus.submit(Transaction(1, TxnKind.DREAD, 0x4), 0)
+    step_until_done(bus, waiting)
+    assert bus.stats[1].wait_cycles > 0
+    assert bus.stats[0].transactions == 1
+    assert bus.stats[1].transactions == 1
+
+
+def test_unknown_master_rejected():
+    bus, _ = make_bus(num_cores=1)
+    with pytest.raises(MemoryError_):
+        bus.submit(Transaction(5, TxnKind.DREAD, 0), 0)
+
+
+def test_bus_idle_property():
+    bus, _ = make_bus()
+    assert bus.idle
+    txn = bus.submit(Transaction(0, TxnKind.DREAD, 0), 0)
+    assert not bus.idle
+    step_until_done(bus, txn)
+    bus.step(99)
+    assert bus.idle
+
+
+def test_memmap_routing_and_overlap():
+    memmap = MemoryMap()
+    a = MemoryDevice("a", 0x0, 0x100)
+    b = MemoryDevice("b", 0x100, 0x100)
+    memmap.add(a)
+    memmap.add(b)
+    assert memmap.route(0x80) is a
+    assert memmap.route(0x180) is b
+    assert memmap.try_route(0x5000) is None
+    with pytest.raises(MemoryError_):
+        memmap.route(0x5000)
+    with pytest.raises(MemoryError_):
+        memmap.add(MemoryDevice("c", 0x80, 0x100))
+
+
+def test_cacheability_rules():
+    assert is_cacheable(0x0)  # flash
+    assert is_cacheable(SRAM_BASE)  # SRAM
+    assert not is_cacheable(ITCM_BASE)
+    assert not is_cacheable(DTCM_BASE)
+
+
+def test_tcm_window_addresses():
+    assert itcm_base(0) == ITCM_BASE
+    assert itcm_base(1) - itcm_base(0) == dtcm_base(1) - dtcm_base(0)
+    assert dtcm_base(2) > itcm_base(2)

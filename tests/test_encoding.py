@@ -1,0 +1,110 @@
+"""Encode/decode tests, including a hypothesis round-trip."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import EncodingError
+from repro.isa.encoding import (
+    IMM10_MAX,
+    IMM10_MIN,
+    IMM15_MAX,
+    IMM15_MIN,
+    IMM20_MAX,
+    IMM25_MAX,
+    OPCODE_OF,
+    decode,
+    encode,
+)
+from repro.isa.instructions import Format, Instruction, Mnemonic
+
+regs = st.integers(min_value=0, max_value=31)
+
+
+def test_opcodes_unique():
+    assert len(set(OPCODE_OF.values())) == len(Mnemonic)
+    assert max(OPCODE_OF.values()) < 128
+
+
+def test_known_encoding_fields():
+    word = encode(Instruction(Mnemonic.ADD, rd=1, rs1=2, rs2=3))
+    assert (word >> 25) == OPCODE_OF[Mnemonic.ADD]
+    assert (word >> 20) & 0x1F == 1
+    assert (word >> 15) & 0x1F == 2
+    assert (word >> 10) & 0x1F == 3
+
+
+def test_negative_immediates_roundtrip():
+    instr = Instruction(Mnemonic.ADDI, rd=1, rs1=2, imm=-1)
+    assert decode(encode(instr)).imm == -1
+    branch = Instruction(Mnemonic.BNE, rs1=1, rs2=2, imm=IMM10_MIN)
+    assert decode(encode(branch)).imm == IMM10_MIN
+
+
+def test_out_of_range_immediates_rejected():
+    with pytest.raises(EncodingError):
+        encode(Instruction(Mnemonic.ADDI, rd=1, rs1=2, imm=IMM15_MAX + 1))
+    with pytest.raises(EncodingError):
+        encode(Instruction(Mnemonic.SW, rs1=1, rs2=2, imm=IMM10_MAX + 1))
+    with pytest.raises(EncodingError):
+        encode(Instruction(Mnemonic.LUI, rd=1, imm=IMM20_MAX + 1))
+    with pytest.raises(EncodingError):
+        encode(Instruction(Mnemonic.J, imm=IMM25_MAX + 1))
+    with pytest.raises(EncodingError):
+        encode(Instruction(Mnemonic.ADD, rd=32, rs1=0, rs2=0))
+
+
+def test_unknown_opcode_rejected():
+    with pytest.raises(EncodingError):
+        decode(127 << 25)
+    with pytest.raises(EncodingError):
+        decode(-1)
+
+
+@st.composite
+def instructions(draw):
+    mnemonic = draw(st.sampled_from(list(Mnemonic)))
+    fmt = Instruction(mnemonic).spec.format
+    rd = draw(regs)
+    rs1 = draw(regs)
+    rs2 = draw(regs)
+    if fmt is Format.R3:
+        return Instruction(mnemonic, rd=rd, rs1=rs1, rs2=rs2)
+    if fmt in (Format.I, Format.LOAD):
+        imm = draw(st.integers(min_value=IMM15_MIN, max_value=IMM15_MAX))
+        return Instruction(mnemonic, rd=rd, rs1=rs1, imm=imm)
+    if fmt is Format.LUI:
+        return Instruction(mnemonic, rd=rd, imm=draw(
+            st.integers(min_value=0, max_value=IMM20_MAX)))
+    if fmt in (Format.STORE, Format.BRANCH):
+        imm = draw(st.integers(min_value=IMM10_MIN, max_value=IMM10_MAX))
+        return Instruction(mnemonic, rs1=rs1, rs2=rs2, imm=imm)
+    if fmt is Format.JUMP:
+        return Instruction(mnemonic, imm=draw(
+            st.integers(min_value=0, max_value=IMM25_MAX)))
+    if fmt is Format.JR:
+        return Instruction(mnemonic, rs1=rs1)
+    if fmt is Format.CSRR:
+        return Instruction(mnemonic, rd=rd, csr=draw(
+            st.integers(min_value=0, max_value=31)))
+    if fmt is Format.CSRW:
+        return Instruction(mnemonic, csr=draw(
+            st.integers(min_value=0, max_value=31)), rs1=rs1)
+    return Instruction(mnemonic)
+
+
+@given(instructions())
+def test_encode_decode_roundtrip(instr):
+    word = encode(instr)
+    assert 0 <= word <= 0xFFFF_FFFF
+    again = decode(word)
+    assert encode(again) == word
+    assert again.mnemonic == instr.mnemonic
+
+
+@given(instructions())
+def test_decode_preserves_operands(instr):
+    again = decode(encode(instr))
+    assert again.source_regs() == instr.source_regs()
+    assert again.dest_regs() == instr.dest_regs()
+    assert again.imm == instr.imm

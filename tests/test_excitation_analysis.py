@@ -1,0 +1,56 @@
+"""Tests of the path-excitation diagnostics."""
+
+from repro.analysis.excitation import (
+    compare_excitation,
+    excitation_summary,
+    path_excitation,
+)
+from repro.core import build_cache_wrapped
+from repro.cpu.core import CORE_MODEL_A
+from repro.stl import RoutineContext
+from repro.stl.routines import make_forwarding_routine
+from tests.conftest import run_program
+
+CTX = RoutineContext.for_core(0, CORE_MODEL_A)
+
+
+def _logs():
+    routine = make_forwarding_routine(
+        CORE_MODEL_A, with_pcs=False, patterns_per_path=1
+    )
+    wrapped = build_cache_wrapped(routine, 0x1000, CTX)
+    plain = routine.build_single_core(0x1000, CTX)
+    _, wrapped_core = run_program(wrapped)
+    _, plain_core = run_program(plain)
+    return wrapped_core.log, plain_core.log
+
+
+def test_cached_run_excites_all_paths():
+    wrapped_log, _ = _logs()
+    report = path_excitation(wrapped_log)
+    assert len(report) == 16
+    assert all(entry.excited for entry in report)
+
+
+def test_uncached_run_loses_paths():
+    wrapped_log, plain_log = _logs()
+    lost = compare_excitation(wrapped_log, plain_log)
+    assert lost  # the no-cache run misses at least one path
+    # Losses must be real: none of the lost paths appears excited.
+    plain_excited = {e.path for e in path_excitation(plain_log) if e.excited}
+    assert not (set(lost) & plain_excited)
+
+
+def test_summary_renders_status_column():
+    wrapped_log, plain_log = _logs()
+    text = excitation_summary(plain_log)
+    assert "NOT EXCITED" in text
+    assert "p0d1c0o0" in text
+    assert "NOT EXCITED" not in excitation_summary(wrapped_log)
+
+
+def test_empty_log_reports_all_unexcited():
+    from repro.cpu.recording import ActivationLog
+
+    report = path_excitation(ActivationLog())
+    assert all(not entry.excited for entry in report)

@@ -1,0 +1,132 @@
+"""In-field fault detection: behavioural injection vs. the offline grade.
+
+The finalised routine's verdict trichotomy in the field is PASS /
+FAIL / hang (watchdog): any non-PASS outcome counts as detection.  The
+cross-check test derives, for the same physical fault, the offline
+PPSFP verdict and the in-field outcome, and asserts they agree.
+"""
+
+import pytest
+
+from repro.core import cache_wrapped_builder, finalise_with_expected
+from repro.cpu.core import CORE_MODEL_A
+from repro.cpu.injection import DataBitFault, SelectFault, clear, install
+from repro.cpu.recording import FwdSource
+from repro.errors import ExecutionLimitExceeded
+from repro.soc import Soc
+from repro.stl import RoutineContext
+from repro.stl.conventions import RESULT_PASS
+from repro.stl.routines import make_forwarding_routine
+
+CTX = RoutineContext.for_core(0, CORE_MODEL_A)
+
+
+@pytest.fixture(scope="module")
+def finalised():
+    routine = make_forwarding_routine(
+        CORE_MODEL_A, with_pcs=False, patterns_per_path=2
+    )
+    program, expected = finalise_with_expected(
+        lambda e: cache_wrapped_builder(routine, CTX, e)(0x1000), 0
+    )
+    return program, expected
+
+
+def run_in_field(program, fault):
+    """PASS / FAIL / HANG verdict of a field execution with ``fault``."""
+    soc = Soc()
+    soc.load(program)
+    soc.cores[0].recording = False  # field hardware logs nothing
+    if fault is not None:
+        install(soc.cores[0], fault)
+    soc.start_core(0, 0x1000)
+    try:
+        soc.run(max_cycles=60_000)
+    except ExecutionLimitExceeded:
+        return "HANG"
+    verdict = soc.cores[0].dtcm.read_word(CTX.mailbox_address)
+    return "PASS" if verdict == RESULT_PASS else "FAIL"
+
+
+def test_fault_free_run_passes(finalised):
+    program, _ = finalised
+    assert run_in_field(program, None) == "PASS"
+
+
+def test_data_bit_fault_detected_in_field(finalised):
+    program, _ = finalised
+    fault = DataBitFault(0, 0, FwdSource.EX0, bit=5, stuck_to=0)
+    assert run_in_field(program, fault) != "PASS"
+
+
+def test_select_fault_detected_or_hangs(finalised):
+    program, _ = finalised
+    fault = SelectFault(0, 0, forced=FwdSource.RF)
+    assert run_in_field(program, fault) != "PASS"
+
+
+def test_clear_restores_fault_free_operation(finalised):
+    program, _ = finalised
+    soc = Soc()
+    soc.load(program)
+    install(soc.cores[0], DataBitFault(0, 0, FwdSource.EX0, 5, 0))
+    clear(soc.cores[0])
+    soc.start_core(0, 0x1000)
+    soc.run(max_cycles=4_000_000)
+    assert soc.cores[0].dtcm.read_word(CTX.mailbox_address) == RESULT_PASS
+
+
+def test_unexcitable_fault_escapes_in_field(finalised):
+    """A stuck-at agreeing with a never-differing bit must escape —
+    found from the run's own pattern log, not guessed."""
+    program, _ = finalised
+    soc = Soc()
+    soc.load(program)
+    soc.start_core(0, 0x1000)
+    soc.run(max_cycles=4_000_000)
+    records = [
+        r
+        for r in soc.cores[0].log.forwarding
+        if r.observable and (r.slot, r.operand) == (0, 0)
+        and r.select == FwdSource.EX0
+    ]
+    assert records
+    # Find a bit that is 1 in every selected EX0 value: SA1 there can
+    # never be excited through this port.
+    always_one = (1 << 32) - 1
+    for record in records:
+        always_one &= record.candidates[int(FwdSource.EX0)]
+    if always_one == 0:
+        pytest.skip("routine toggles every EX0 bit in both polarities")
+    bit = always_one.bit_length() - 1
+    fault = DataBitFault(0, 0, FwdSource.EX0, bit=bit, stuck_to=1)
+    assert run_in_field(program, fault) == "PASS"
+
+
+def test_offline_verdict_agrees_with_in_field(finalised):
+    """PPSFP-detected stem faults on the EX0 data column must be caught
+    by the field execution of the same routine."""
+    from repro.faults import fault_simulate, forwarding_pattern_sets, get_modules
+    from repro.faults.stuckat import StuckAtFault
+
+    program, _ = finalised
+    soc = Soc()
+    soc.load(program)
+    soc.start_core(0, 0x1000)
+    soc.run(max_cycles=4_000_000)
+    modules = get_modules(CORE_MODEL_A)
+    patterns = forwarding_pattern_sets(soc.cores[0].log, modules)[(0, 0)]
+    netlist = modules.forwarding[(0, 0)]
+    ex0_inputs = netlist.inputs["d1"]  # data column of FwdSource.EX0
+    checked = 0
+    for bit in (0, 3, 7, 19):
+        for stuck in (0, 1):
+            offline = fault_simulate(
+                netlist, patterns, [StuckAtFault(ex0_inputs[bit], stuck)]
+            )
+            if offline.detected_faults == 0:
+                continue
+            fault = DataBitFault(0, 0, FwdSource.EX0, bit=bit, stuck_to=stuck)
+            assert run_in_field(program, fault) != "PASS", (bit, stuck)
+            checked += 1
+    assert checked >= 4

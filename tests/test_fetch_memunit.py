@@ -1,0 +1,172 @@
+"""Focused tests of the fetch unit and the data memory unit."""
+
+from repro.isa import AsmBuilder
+from repro.isa.instructions import CACHECFG_DCACHE_EN, CACHECFG_ICACHE_EN, Csr
+from repro.soc import Soc
+from tests.conftest import run_program
+
+
+def test_fetch_redirect_discards_inflight():
+    """A taken branch must not let stale prefetched words issue."""
+    _, core = run_program(
+        """
+        .org 0x100
+        addi r1, r0, 1
+        j target
+        addi r1, r1, 100   # must never execute
+        addi r1, r1, 100
+        target: addi r1, r1, 2
+        halt
+        """
+    )
+    assert core.regfile.read(1) == 3
+
+
+def test_unaligned_branch_target_fetches_partial_group():
+    """Jumping to a non-16-byte-aligned target works and the stream
+    continues correctly from there."""
+    _, core = run_program(
+        """
+        .org 0x100
+        j target
+        nop
+        nop
+        target: addi r2, r0, 9
+        addi r3, r2, 1
+        halt
+        """
+    )
+    assert core.regfile.read(3) == 10
+
+
+def test_icache_fill_then_hits():
+    asm = AsmBuilder(0x200)
+    asm.li(1, CACHECFG_ICACHE_EN)
+    asm.csrw(Csr.CACHECFG, 1)
+    asm.li(2, 3)
+    asm.label("loop")
+    asm.addi(2, 2, -1)
+    asm.bne(2, 0, "loop")
+    asm.halt()
+    _, core = run_program(asm.build())
+    assert core.icache.stats.fills >= 1
+    assert core.icache.stats.hits > core.icache.stats.misses
+
+
+def test_uncached_fetch_uses_burst_groups():
+    _, core = run_program(
+        """
+        .org 0x100
+        nop
+        nop
+        nop
+        nop
+        nop
+        nop
+        nop
+        halt
+        """
+    )
+    # 8 instructions starting 16-byte aligned: two 4-word bursts.
+    soc = Soc()
+    # Count bursts via bus stats of a fresh identical run.
+    from repro.isa import assemble
+
+    program = assemble(".org 0x100\n" + "nop\n" * 7 + "halt\n")
+    soc.load(program)
+    soc.start_core(0, 0x100)
+    soc.run()
+    # Two useful 4-word bursts; the prefetcher may have streamed one
+    # further speculative burst before HALT stopped it.
+    assert 2 <= soc.bus.stats[0].transactions <= 3
+
+
+def test_dcache_write_back_on_eviction():
+    """Dirty lines must reach memory when evicted."""
+    asm = AsmBuilder(0x100)
+    asm.li(1, CACHECFG_DCACHE_EN | 4)  # D$ on, write-allocate
+    asm.csrw(Csr.CACHECFG, 1)
+    asm.li(2, 0x2000_0000)
+    asm.li(3, 0xFEED)
+    asm.sw(3, 0, 2)  # dirty line at set 0
+    # Two more lines mapping to the same set (4 KiB / 2 ways / 32 B =
+    # 64 sets -> stride 2 KiB).
+    asm.li(4, 0x2000_0800)
+    asm.sw(3, 0, 4)
+    asm.li(5, 0x2000_1000)
+    asm.sw(3, 0, 5)
+    asm.halt()
+    soc = Soc()
+    program = asm.build()
+    soc.load(program)
+    soc.start_core(0, 0x100)
+    soc.run()
+    assert soc.sram.read_word(0x2000_0000) == 0xFEED
+    assert soc.cores[0].dcache.stats.writebacks >= 1
+
+
+def test_nwa_store_miss_bypasses_cache():
+    asm = AsmBuilder(0x100)
+    asm.li(1, CACHECFG_DCACHE_EN)  # D$ on, NO write-allocate
+    asm.csrw(Csr.CACHECFG, 1)
+    asm.li(2, 0x2000_0000)
+    asm.li(3, 0xBEAD)
+    asm.sw(3, 0, 2)
+    asm.sync()
+    asm.halt()
+    soc = Soc()
+    soc.load(asm.build())
+    soc.start_core(0, 0x100)
+    soc.run()
+    core = soc.cores[0]
+    assert soc.sram.read_word(0x2000_0000) == 0xBEAD
+    assert core.dcache.stats.write_miss_bypasses == 1
+    assert core.dcache.resident_lines() == 0
+
+
+def test_wa_store_miss_allocates():
+    asm = AsmBuilder(0x100)
+    asm.li(1, CACHECFG_DCACHE_EN | 4)
+    asm.csrw(Csr.CACHECFG, 1)
+    asm.li(2, 0x2000_0000)
+    asm.li(3, 0xC0DE)
+    asm.sw(3, 0, 2)
+    asm.lw(4, 0, 2)
+    asm.halt()
+    soc = Soc()
+    soc.load(asm.build())
+    soc.start_core(0, 0x100)
+    soc.run()
+    core = soc.cores[0]
+    assert core.regfile.read(4) == 0xC0DE
+    assert core.dcache.stats.write_miss_bypasses == 0
+    assert core.dcache.resident_lines() == 1
+    # Write-back cache: the value is only in the cache until eviction.
+    assert soc.sram.read_word(0x2000_0000) == 0
+
+
+def test_byte_store_uncached():
+    _, core = run_program(
+        """
+        lui r2, 0x20000
+        addi r3, r0, 0xAB
+        sb r3, 2(r2)
+        lbu r4, 2(r2)
+        lw r5, 0(r2)
+        halt
+        """
+    )
+    assert core.regfile.read(4) == 0xAB
+    assert core.regfile.read(5) == 0xAB << 16
+
+
+def test_memstall_counted_for_uncached_loads():
+    _, core = run_program(
+        """
+        lui r2, 0x20000
+        lw r3, 0(r2)
+        lw r4, 4(r2)
+        halt
+        """
+    )
+    assert core.memstall > 0

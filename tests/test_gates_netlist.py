@@ -1,0 +1,111 @@
+"""Tests of gate primitives and the netlist container."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import FaultModelError
+from repro.faults.gates import GateKind, eval_gate
+from repro.faults.netlist import Netlist
+
+TRUTH = {
+    GateKind.AND: lambda a, b: a & b,
+    GateKind.OR: lambda a, b: a | b,
+    GateKind.NAND: lambda a, b: 1 - (a & b),
+    GateKind.NOR: lambda a, b: 1 - (a | b),
+    GateKind.XOR: lambda a, b: a ^ b,
+    GateKind.XNOR: lambda a, b: 1 - (a ^ b),
+}
+
+
+@pytest.mark.parametrize("kind", list(TRUTH))
+def test_binary_gate_truth_tables(kind):
+    for a in (0, 1):
+        for b in (0, 1):
+            assert eval_gate(kind, a, b, 1) == TRUTH[kind](a, b)
+
+
+def test_unary_gates():
+    assert eval_gate(GateKind.BUF, 0b1010, 0, 0b1111) == 0b1010
+    assert eval_gate(GateKind.NOT, 0b1010, 0, 0b1111) == 0b0101
+
+
+@given(
+    st.sampled_from(list(TRUTH)),
+    st.integers(min_value=0, max_value=2**64 - 1),
+    st.integers(min_value=0, max_value=2**64 - 1),
+)
+def test_bit_parallel_matches_bitwise(kind, a, b):
+    mask = 2**64 - 1
+    packed = eval_gate(kind, a, b, mask)
+    for bit in range(0, 64, 7):
+        expected = TRUTH[kind]((a >> bit) & 1, (b >> bit) & 1)
+        assert (packed >> bit) & 1 == expected
+
+
+def test_netlist_construction_and_eval():
+    nl = Netlist("t")
+    a, b = nl.add_input_bus("in", 2)
+    out = nl.add_gate(GateKind.XOR, a, b)
+    nl.mark_output_bus("out", [out])
+    values = nl.evaluate({a: 0b1100, b: 0b1010}, 0b1111)
+    assert values[out] == 0b0110
+
+
+def test_netlist_rejects_forward_references():
+    nl = Netlist("t")
+    with pytest.raises(FaultModelError):
+        nl.add_gate(GateKind.AND, 5, 6)
+
+
+def test_or_and_trees():
+    nl = Netlist("t")
+    bus = nl.add_input_bus("in", 5)
+    or_out = nl.or_tree(bus)
+    and_out = nl.and_tree(bus)
+    mask = 0b11
+    values = nl.evaluate({net: (0b01 if i == 2 else 0b11) for i, net in enumerate(bus)}, mask)
+    assert values[or_out] == 0b11
+    assert values[and_out] == 0b01
+
+
+def test_equality_comparator():
+    nl = Netlist("t")
+    a = nl.add_input_bus("a", 4)
+    b = nl.add_input_bus("b", 4)
+    eq = nl.equality(a, b)
+    # Pattern 0: a=b=5; pattern 1: a=5, b=7.
+    inputs = {}
+    for i in range(4):
+        inputs[a[i]] = ((5 >> i) & 1) | (((5 >> i) & 1) << 1)
+        inputs[b[i]] = ((5 >> i) & 1) | (((7 >> i) & 1) << 1)
+    values = nl.evaluate(inputs, 0b11)
+    assert values[eq] == 0b01
+
+
+def test_buffer_chain_depth():
+    nl = Netlist("t")
+    (a,) = nl.add_input_bus("a", 1)
+    end = nl.buffer_chain(a, 3)
+    assert len(nl.gates) == 3
+    values = nl.evaluate({a: 1}, 1)
+    assert values[end] == 1
+
+
+def test_duplicate_bus_names_rejected():
+    nl = Netlist("t")
+    nl.add_input_bus("x", 1)
+    with pytest.raises(FaultModelError):
+        nl.add_input_bus("x", 1)
+    nl.mark_output_bus("y", [0])
+    with pytest.raises(FaultModelError):
+        nl.mark_output_bus("y", [0])
+
+
+def test_fanout_table():
+    nl = Netlist("t")
+    a, b = nl.add_input_bus("in", 2)
+    g1 = nl.add_gate(GateKind.AND, a, b)
+    g2 = nl.add_gate(GateKind.OR, a, g1)
+    assert nl.fanout[a] == [0, 1]
+    assert nl.fanout[g1] == [1]

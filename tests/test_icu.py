@@ -1,0 +1,109 @@
+"""Tests of the imprecise-interrupt recognition model."""
+
+from repro.cpu.icu import Icu, IcuConfig
+from repro.isa.instructions import Event
+
+
+def make_icu(shared=True, max_wait=6):
+    return Icu(IcuConfig(shared_status_bits=shared, max_wait=max_wait))
+
+
+def test_status_bit_mapping_shared_vs_onehot():
+    shared = make_icu(shared=True)
+    onehot = make_icu(shared=False)
+    assert shared.map_event(Event.OVF_ADD) == shared.map_event(Event.OVF_SUB)
+    assert onehot.map_event(Event.OVF_ADD) != onehot.map_event(Event.OVF_SUB)
+    assert shared.num_status_bits == 3
+    assert onehot.num_status_bits == 6
+
+
+def test_recognition_waits_for_retirement_bubble():
+    icu = make_icu()
+    icu.raise_event(Event.DIV0, cycle=10)
+    # Full dual retirement: no recognition yet.
+    assert icu.step(11, retired_this_cycle=2) is None
+    assert icu.read_status() == 0
+    # A bubble recognises the event.
+    recognition = icu.step(12, retired_this_cycle=1)
+    assert recognition is not None
+    assert icu.read_status() == 1 << icu.map_event(Event.DIV0)
+    # Imprecision counts the younger instructions retired meanwhile.
+    assert recognition.imprecision == 3
+
+
+def test_recognition_forced_after_max_wait():
+    icu = make_icu(max_wait=3)
+    icu.raise_event(Event.SAT, cycle=0)
+    assert icu.step(1, 2) is None
+    assert icu.step(2, 2) is None
+    recognition = icu.step(3, 2)
+    assert recognition is not None
+    assert recognition.imprecision == 6
+
+
+def test_merged_recognition():
+    icu = make_icu()
+    icu.raise_event(Event.OVF_ADD, cycle=0)
+    icu.raise_event(Event.OVF_SUB, cycle=0)
+    recognition = icu.step(1, retired_this_cycle=0)
+    assert recognition.merged
+    assert recognition.events == (Event.OVF_ADD, Event.OVF_SUB)
+    # Shared mapping: both events fold into one status bit.
+    assert recognition.status_bits == 1 << 0
+    assert icu.read_count() == 2
+
+
+def test_merged_recognition_onehot_distinguishes():
+    icu = make_icu(shared=False)
+    icu.raise_event(Event.OVF_ADD, cycle=0)
+    icu.raise_event(Event.OVF_SUB, cycle=0)
+    recognition = icu.step(1, 0)
+    assert recognition.status_bits == 0b11
+
+
+def test_pending_vector_and_acknowledge():
+    icu = make_icu()
+    icu.raise_event(Event.SHIFTO, cycle=0)
+    assert icu.pending_vector == 1 << int(Event.SHIFTO)
+    icu.step(1, 0)
+    assert icu.pending_vector == 0
+    assert icu.read_status() != 0
+    icu.acknowledge()
+    assert icu.read_status() == 0
+    assert icu.read_imprecision() == 0
+    # The recognition *count* survives acknowledge (it is a counter).
+    assert icu.read_count() == 1
+
+
+def test_no_event_no_recognition():
+    icu = make_icu()
+    for cycle in range(5):
+        assert icu.step(cycle, 0) is None
+
+
+def test_imprecision_depends_on_retirement_stream():
+    """The paper's core claim: the same event sequence yields different
+    imprecision when the retirement stream differs."""
+
+    def run(retire_pattern):
+        icu = make_icu()
+        icu.raise_event(Event.DIV0, cycle=0)
+        for cycle, retired in enumerate(retire_pattern, start=1):
+            recognition = icu.step(cycle, retired)
+            if recognition:
+                return recognition.imprecision
+        return None
+
+    smooth = run([2, 2, 2, 2, 2, 2])  # stall-free stream
+    stalled = run([2, 0, 2, 2, 2, 2])  # a fetch bubble on cycle 2
+    assert smooth != stalled
+
+
+def test_recognitions_are_logged():
+    icu = make_icu()
+    icu.raise_event(Event.DIV0, 0)
+    icu.step(1, 0)
+    icu.raise_event(Event.SAT, 5)
+    icu.step(6, 0)
+    assert len(icu.recognitions) == 2
+    assert icu.recognitions[0].events == (Event.DIV0,)

@@ -1,0 +1,115 @@
+"""Sharp tests of the two per-core masking mechanisms of Section IV.
+
+1. Core C's 32-bit signature masks the upper word of its 64-bit
+   forwarding datapath except where the routine folds it (TESTWIN bit 1).
+2. Cores A/B's shared ICU status bits make event-encode faults that swap
+   a pair's members structurally undetectable, while core C's one-hot
+   mapping exposes them.
+"""
+
+from repro.cpu.core import CORE_MODEL_A, CORE_MODEL_C
+from repro.faults import fault_simulate, get_modules
+from repro.faults.observability import forwarding_pattern_sets
+from repro.faults.ppsfp import PatternSet
+from repro.faults.stuckat import StuckAtFault
+from repro.isa.instructions import NUM_EVENTS
+from repro.utils.bitops import mask as bitmask
+
+
+def _icu_patterns_all_events(modules):
+    """One isolated pattern per event, everything observable."""
+    nl = modules.icu
+    num = NUM_EVENTS
+    patterns = PatternSet(num_patterns=num)
+    inputs = {net: 0 for net in nl.input_nets}
+    for event in range(num):
+        inputs[nl.inputs["e"][event]] |= 1 << event
+    patterns.inputs = inputs
+    patterns.output_observability = {
+        net: bitmask(num) for net in nl.output_nets
+    }
+    return patterns
+
+
+def _enc_lsb_net(modules):
+    """The encoder's LSB line: its faults swap event pairs."""
+    return modules.icu.annotations["enc"][0]
+
+
+def test_pair_swap_fault_masked_on_shared_mapping():
+    modules = get_modules(CORE_MODEL_A)
+    patterns = _icu_patterns_all_events(modules)
+    fault = StuckAtFault(_enc_lsb_net(modules), 1)
+    result = fault_simulate(modules.icu, patterns, [fault])
+    assert result.detected_faults == 0
+
+
+def test_pair_swap_fault_exposed_on_onehot_mapping():
+    modules = get_modules(CORE_MODEL_C)
+    patterns = _icu_patterns_all_events(modules)
+    fault = StuckAtFault(_enc_lsb_net(modules), 1)
+    result = fault_simulate(modules.icu, patterns, [fault])
+    assert result.detected_faults == 1
+
+
+def _core_c_log():
+    from repro.core import build_cache_wrapped
+    from repro.stl import RoutineContext
+    from repro.stl.routines import make_forwarding_routine
+    from tests.conftest import run_program
+
+    routine = make_forwarding_routine(CORE_MODEL_C, with_pcs=False)
+    ctx = RoutineContext.for_core(2, CORE_MODEL_C)
+    program = build_cache_wrapped(routine, 0x1000, ctx)
+    _, core = run_program(program, core_id=2, max_cycles=2_000_000)
+    return core.log
+
+
+def test_high_word_observability_follows_folds():
+    """Upper-word output bits are observable exactly on the patterns the
+    routine folds (TESTWIN bit 1) — the signature-masking mechanism."""
+    log = _core_c_log()
+    modules = get_modules(CORE_MODEL_C)
+    pattern_sets = forwarding_pattern_sets(log, modules)
+    saw_partial = False
+    for port, patterns in pattern_sets.items():
+        nl = modules.forwarding[port]
+        out = nl.outputs["out"]
+        low_mask = patterns.output_observability.get(out[0], 0)
+        high_mask = patterns.output_observability.get(out[40], 0)
+        # High-word observability is a strict subset of low-word's.
+        assert high_mask & ~low_mask == 0
+        if high_mask != low_mask:
+            saw_partial = True
+    assert saw_partial
+
+
+def test_unfolded_high_word_fault_escapes_folded_detected():
+    """High-word data faults are graded detected only through folded
+    patterns; a routine that never folds loses those detections."""
+    log = _core_c_log()
+    modules = get_modules(CORE_MODEL_C)
+    pattern_sets = forwarding_pattern_sets(log, modules)
+    confirmed = 0
+    for port, patterns in pattern_sets.items():
+        nl = modules.forwarding[port]
+        low_out = set(nl.outputs["out"][:32])
+        stripped = PatternSet(
+            num_patterns=patterns.num_patterns,
+            inputs=patterns.inputs,
+            output_observability={
+                net: obs_mask
+                for net, obs_mask in patterns.output_observability.items()
+                if net in low_out
+            },
+        )
+        for source in ("d1", "d2", "d3"):
+            for bit in (40, 45, 50):
+                fault = [StuckAtFault(nl.inputs[source][bit], 0)]
+                folded = fault_simulate(nl, patterns, fault).detected_faults
+                if folded == 0:
+                    continue
+                unfolded = fault_simulate(nl, stripped, fault).detected_faults
+                assert unfolded == 0, (port, source, bit)
+                confirmed += 1
+    assert confirmed >= 3

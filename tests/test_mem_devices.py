@@ -1,0 +1,106 @@
+"""Tests for memory devices: base device, SRAM, flash, TCM."""
+
+import pytest
+
+from repro.errors import MemoryError_
+from repro.mem.device import MemoryDevice
+from repro.mem.flash import Flash
+from repro.mem.sram import Sram
+from repro.mem.tcm import Tcm
+
+
+def test_device_word_access_and_bounds():
+    device = MemoryDevice("dev", 0x1000, 0x100, latency=2)
+    device.write_word(0x1004, 0xDEADBEEF)
+    assert device.read_word(0x1004) == 0xDEADBEEF
+    assert device.read_word(0x1008) == 0  # uninitialised reads as zero
+    with pytest.raises(MemoryError_):
+        device.read_word(0x2000)
+    with pytest.raises(MemoryError_):
+        device.write_word(0x0FFC, 1)
+
+
+def test_device_byte_access_little_endian():
+    device = MemoryDevice("dev", 0, 0x100)
+    device.write_word(0, 0x44332211)
+    assert [device.read_byte(i) for i in range(4)] == [0x11, 0x22, 0x33, 0x44]
+    device.write_byte(2, 0xAB)
+    assert device.read_word(0) == 0x44AB2211
+
+
+def test_device_burst_read():
+    device = MemoryDevice("dev", 0, 0x100)
+    for i in range(4):
+        device.write_word(4 * i, i + 1)
+    assert device.read_burst(0, 4) == [1, 2, 3, 4]
+
+
+def test_device_alignment_requirements():
+    with pytest.raises(MemoryError_):
+        MemoryDevice("dev", 0x1001, 0x100)
+
+
+def test_device_access_cycles_burst():
+    device = MemoryDevice("dev", 0, 0x100, latency=3)
+    assert device.access_cycles(0, False, 1) == 3
+    assert device.access_cycles(0, False, 4) == 6
+
+
+def test_sram_defaults():
+    sram = Sram()
+    assert sram.contains(0x2000_0000)
+    assert sram.latency == 2
+
+
+def test_flash_is_read_only_at_runtime():
+    flash = Flash()
+    flash.program_word(0x100, 0xCAFE)
+    assert flash.read_word(0x100) == 0xCAFE
+    with pytest.raises(MemoryError_):
+        flash.write_word(0x100, 1)
+
+
+def test_flash_buffer_hit_vs_miss_timing():
+    flash = Flash(array_cycles=8, buffer_cycles=2, buffer_bytes=32, num_buffers=1)
+    assert flash.access_cycles(0x100, False, 2) == 8  # cold miss
+    assert flash.access_cycles(0x108, False, 2) == 2  # same line: hit
+    assert flash.access_cycles(0x200, False, 2) == 8  # other line evicts
+    assert flash.access_cycles(0x100, False, 2) == 8  # original evicted
+
+
+def test_flash_two_buffers_hold_two_streams():
+    flash = Flash(num_buffers=2)
+    flash.access_cycles(0x100, False, 2)  # stream 1
+    flash.access_cycles(0x1000, False, 1)  # stream 2
+    assert flash.access_cycles(0x108, False, 2) == flash.buffer_cycles
+    assert flash.access_cycles(0x1004, False, 1) == flash.buffer_cycles
+
+
+def test_flash_burst_crossing_line_pays_two_accesses():
+    flash = Flash(array_cycles=8, buffer_bytes=32)
+    cycles = flash.access_cycles(0x118, False, 4)  # crosses 0x120
+    assert cycles == 16
+
+
+def test_flash_reset_buffer():
+    flash = Flash()
+    flash.access_cycles(0x100, False, 1)
+    flash.reset_buffer()
+    assert flash.access_cycles(0x100, False, 1) == flash.array_cycles
+
+
+def test_flash_hit_miss_counters():
+    flash = Flash(num_buffers=1)
+    flash.access_cycles(0x0, False, 1)
+    flash.access_cycles(0x4, False, 1)
+    assert flash.buffer_misses == 1
+    assert flash.buffer_hits == 1
+
+
+def test_tcm_reservation():
+    tcm = Tcm("itcm0", 0x0400_0000, 16 << 10)
+    tcm.reserve(3000)
+    tcm.reserve(1000)  # smaller reservations don't shrink the high water
+    assert tcm.reserved_bytes == 3000
+    with pytest.raises(ValueError):
+        tcm.reserve(17 << 10)

@@ -1,0 +1,100 @@
+"""Fuzzing the bus: the wrapped signature must survive *any* contention.
+
+The scenario matrix of the paper samples a handful of configurations;
+this test goes further and generates pseudo-random background programs
+(random mixes of flash fetch streams, SRAM traffic and branches) on the
+other cores, asserting the cache-wrapped routine still reproduces its
+golden signature bit-for-bit.  This is the determinism claim under
+adversarial, not just representative, contention.
+"""
+
+import pytest
+
+from repro.core import build_cache_wrapped, golden_signature
+from repro.cpu.core import CORE_MODEL_A
+from repro.soc import Soc
+from repro.stl import RoutineContext
+from repro.stl.conventions import SIG_REG
+from repro.stl.packets import PhasedBuilder
+from repro.stl.routines import make_forwarding_routine
+from repro.utils.rng import DeterministicRng
+
+CTX = RoutineContext.for_core(0, CORE_MODEL_A)
+
+
+def noise_program(seed: int, base: int):
+    """A pseudo-random bus-hammering background program."""
+    rng = DeterministicRng(seed)
+    asm = PhasedBuilder(base, f"noise{seed}")
+    asm.li(2, 0x2004_0000 + (seed % 7) * 0x100)
+    asm.label("spin")
+    for _ in range(rng.randint(6, 20)):
+        choice = rng.randint(0, 3)
+        if choice == 0:
+            asm.nop(rng.randint(1, 3))
+        elif choice == 1:
+            asm.lw(3, 4 * rng.randint(0, 30), 2)
+        elif choice == 2:
+            asm.sw(3, 4 * rng.randint(0, 30), 2)
+        else:
+            asm.add(4, 3, 3)
+    asm.j("spin")
+    return asm.build()
+
+
+@pytest.fixture(scope="module")
+def wrapped_and_golden():
+    routine = make_forwarding_routine(
+        CORE_MODEL_A, with_pcs=False, patterns_per_path=2
+    )
+    program = build_cache_wrapped(routine, 0x1000, CTX)
+    return program, golden_signature(program, 0)
+
+
+@pytest.mark.parametrize("seed", [3, 17, 101, 999, 54321])
+def test_wrapped_signature_immune_to_random_noise(seed, wrapped_and_golden):
+    program, golden = wrapped_and_golden
+    soc = Soc()
+    soc.load(program)
+    rng = DeterministicRng(seed * 7919)
+    for other in (1, 2):
+        noise = noise_program(seed + other, 0x0008_0000 + other * 0x4000)
+        soc.load(noise)
+        soc.cores[other].recording = False
+        soc.run_cycles(rng.randint(0, 13))
+        soc.start_core(other, noise.base_address)
+    core = soc.cores[0]
+    soc.run_cycles(rng.randint(0, 23))
+    soc.start_core(0, 0x1000)
+    for _ in range(4_000_000):
+        if core.done:
+            break
+        soc.step()
+    assert core.done
+    assert core.regfile.read(SIG_REG) == golden
+
+
+@pytest.mark.parametrize("seed", [3, 101])
+def test_unwrapped_pc_signature_not_immune(seed):
+    """Control experiment: the PC-bearing single-core program diverges
+    from its golden signature under the same noise."""
+    routine = make_forwarding_routine(
+        CORE_MODEL_A, with_pcs=True, patterns_per_path=2
+    )
+    program = routine.build_single_core(0x1000, CTX)
+    golden = golden_signature(program, 0)
+    soc = Soc()
+    soc.load(program)
+    for other in (1, 2):
+        noise = noise_program(seed + other, 0x0008_0000 + other * 0x4000)
+        soc.load(noise)
+        soc.cores[other].recording = False
+        soc.start_core(other, noise.base_address)
+    core = soc.cores[0]
+    soc.start_core(0, 0x1000)
+    for _ in range(4_000_000):
+        if core.done:
+            break
+        soc.step()
+    assert core.done
+    assert core.regfile.read(SIG_REG) != golden

@@ -1,0 +1,122 @@
+"""Tests of the packet-aware builder and the MISR signature."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa.instructions import Instruction, Mnemonic
+from repro.soc import Soc
+from repro.stl.conventions import SIG_REG
+from repro.stl.packets import PhasedBuilder
+from repro.stl.signature import (
+    SIGNATURE_SEED,
+    emit_signature_init,
+    emit_signature_update,
+    signature_of,
+    signature_update,
+)
+from repro.utils.bitops import MASK32
+from tests.conftest import run_program
+
+
+def test_align_inserts_nop_only_when_needed():
+    asm = PhasedBuilder()
+    asm.emit(Instruction(Mnemonic.ADD, rd=1, rs1=0, rs2=0))
+    assert not asm.at_packet_boundary
+    asm.align()
+    assert asm.at_packet_boundary
+    count = asm.instruction_count
+    asm.align()
+    assert asm.instruction_count == count  # idempotent
+
+
+def test_branch_opens_new_packet_without_padding():
+    asm = PhasedBuilder()
+    asm.label("x")
+    asm.beq(0, 0, "x")
+    assert asm.at_packet_boundary
+
+
+def test_packet_validates_pairing():
+    asm = PhasedBuilder()
+    import pytest
+
+    with pytest.raises(ValueError):
+        asm.packet(
+            Instruction(Mnemonic.ADD, rd=1, rs1=0, rs2=0),
+            Instruction(Mnemonic.ADD, rd=2, rs1=1, rs2=0),  # RAW
+        )
+    with pytest.raises(ValueError):
+        asm.packet()
+
+
+def test_packet_singleton_padding():
+    asm = PhasedBuilder()
+    asm.packet(Instruction(Mnemonic.ADD, rd=1, rs1=0, rs2=0))
+    assert asm.at_packet_boundary
+    assert asm.instruction_count == 2  # padded with a NOP
+
+
+def test_static_phase_matches_hardware_issue():
+    """The builder's greedy-pairing simulation must agree with the real
+    front end when fetch never starves (I-TCM execution)."""
+    soc = Soc()
+    core = soc.cores[0]
+    asm = PhasedBuilder(core.itcm.base, "phase")
+    intended = []
+    for k in range(30):
+        first = Instruction(Mnemonic.ADD, rd=1 + k % 3, rs1=0, rs2=0)
+        second = Instruction(Mnemonic.XOR, rd=5 + k % 3, rs1=0, rs2=0)
+        asm.packet(first, second)
+        intended.append((str(first), str(second)))
+    asm.halt()
+    program = asm.build()
+    for address, word in zip(
+        range(program.base_address, program.end_address, 4),
+        program.encoded_words(),
+    ):
+        core.itcm.write_word(address, word)
+    core.keep_trace = True
+    soc.start_core(0, program.base_address)
+    soc.run(max_cycles=10_000)
+    by_cycle = {}
+    for uop in core.trace:
+        by_cycle.setdefault(uop.issue_cycle, []).append(uop)
+    pairs = [
+        tuple(str(u.instr) for u in sorted(group, key=lambda u: u.slot))
+        for group in by_cycle.values()
+        if len(group) == 2
+    ]
+    for intended_pair in intended:
+        assert intended_pair in pairs
+
+
+def test_signature_update_model_known_values():
+    assert signature_update(0x8000_0000, 0) == 1
+    assert signature_update(0, 0xDEAD) == 0xDEAD
+    assert signature_of([1, 2, 3]) == signature_update(
+        signature_update(signature_update(SIGNATURE_SEED, 1), 2), 3
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=MASK32), min_size=1, max_size=5))
+def test_emitted_misr_matches_python_model(values):
+    """The 4-instruction emitted MISR must equal the Python model."""
+    asm = PhasedBuilder(0x100, "sig")
+    emit_signature_init(asm)
+    for i, value in enumerate(values):
+        asm.li(1 + i % 8, value)
+        emit_signature_update(asm, 1 + i % 8)
+    asm.halt()
+    _, core = run_program(asm.build())
+    assert core.regfile.read(SIG_REG) == signature_of(values)
+
+
+def test_signature_order_sensitivity():
+    assert signature_of([1, 2]) != signature_of([2, 1])
+
+
+def test_signature_detects_single_bit_flip():
+    base = signature_of([0x1234, 0x5678])
+    flipped = signature_of([0x1234, 0x5679])
+    assert base != flipped

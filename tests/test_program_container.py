@@ -1,0 +1,60 @@
+"""Tests of the Program container."""
+
+import pytest
+
+from repro.isa import AsmBuilder, Program, assemble, decode
+from repro.isa.instructions import Instruction, Mnemonic
+
+
+def sample_program():
+    asm = AsmBuilder(0x400, "sample")
+    asm.label("entry")
+    asm.addi(1, 0, 5)
+    asm.nop()
+    asm.halt()
+    asm.data_word(0x2000_0000, 0x1234)
+    return asm.build()
+
+
+def test_size_and_addresses():
+    program = sample_program()
+    assert program.size_bytes == 12
+    assert program.end_address == 0x40C
+    assert program.address_of(2) == 0x408
+    assert program.index_of(0x404) == 1
+
+
+def test_index_of_rejects_outside_and_misaligned():
+    program = sample_program()
+    with pytest.raises(IndexError):
+        program.index_of(0x40C)
+    with pytest.raises(IndexError):
+        program.index_of(0x402)
+
+
+def test_image_contains_code_and_data():
+    program = sample_program()
+    image = program.image()
+    assert image[0x2000_0000] == 0x1234
+    assert decode(image[0x400]).mnemonic is Mnemonic.ADDI
+
+
+def test_image_rejects_data_overlapping_code():
+    program = sample_program()
+    program.data[0x404] = 99
+    with pytest.raises(ValueError):
+        program.image()
+
+
+def test_base_address_must_be_aligned():
+    with pytest.raises(ValueError):
+        Program(code=[Instruction(Mnemonic.NOP)], base_address=2)
+
+
+def test_listing_reassembles_identically():
+    program = sample_program()
+    again = assemble(program.listing())
+    assert again.base_address == program.base_address
+    assert again.encoded_words() == program.encoded_words()
+    assert again.data == program.data
+    assert again.name == program.name

@@ -1,0 +1,64 @@
+"""Tests for the deterministic RNG and the table renderer."""
+
+import pytest
+
+from repro.utils.rng import DeterministicRng
+from repro.utils.tables import format_table
+
+
+def test_rng_is_reproducible():
+    a = [DeterministicRng(42).next_u64() for _ in range(5)]
+    b = [DeterministicRng(42).next_u64() for _ in range(5)]
+    assert a == b
+
+
+def test_rng_streams_differ_by_seed():
+    a = DeterministicRng(1)
+    b = DeterministicRng(2)
+    assert [a.next_u32() for _ in range(4)] != [b.next_u32() for _ in range(4)]
+
+
+def test_rng_randint_bounds():
+    rng = DeterministicRng(7)
+    values = [rng.randint(3, 9) for _ in range(200)]
+    assert min(values) >= 3
+    assert max(values) <= 9
+    assert len(set(values)) > 3
+
+
+def test_rng_rejects_bad_seed_and_range():
+    with pytest.raises(ValueError):
+        DeterministicRng(0)
+    rng = DeterministicRng(1)
+    with pytest.raises(ValueError):
+        rng.randint(5, 4)
+    with pytest.raises(ValueError):
+        rng.choice([])
+
+
+def test_rng_shuffle_is_permutation():
+    rng = DeterministicRng(99)
+    items = list(range(20))
+    shuffled = list(items)
+    rng.shuffle(shuffled)
+    assert sorted(shuffled) == items
+    assert shuffled != items  # astronomically unlikely to be identity
+
+
+def test_format_table_alignment():
+    text = format_table(("name", "count"), [("abc", 12), ("d", 3456)])
+    lines = text.splitlines()
+    assert lines[0].startswith("| name")
+    assert "3456" in lines[-1]
+    # Numeric column right-aligned: the shorter number is padded left.
+    assert lines[2].endswith("|    12 |")
+
+
+def test_format_table_rejects_ragged_rows():
+    with pytest.raises(ValueError):
+        format_table(("a", "b"), [(1,)])
+
+
+def test_format_table_title():
+    text = format_table(("x",), [(1,)], title="My Table")
+    assert text.splitlines()[0] == "My Table"

@@ -1,0 +1,132 @@
+"""Tests of the SoC container, loader, scheduler and stall monitor."""
+
+import pytest
+
+from repro.cpu.core import CORE_MODEL_A, CORE_MODEL_B, CORE_MODEL_C
+from repro.soc import (
+    CodeAlignment,
+    CodePosition,
+    Soc,
+    StallMonitor,
+    placement_address,
+)
+from repro.soc.scheduler import (
+    ParallelSchedule,
+    build_dispatch_program,
+    load_parallel_session,
+)
+from repro.stl import RoutineContext, build_library
+from repro.stl.conventions import SIG_REG
+
+
+def test_soc_has_three_heterogeneous_cores():
+    soc = Soc()
+    assert [core.model.name for core in soc.cores] == ["A", "B", "C"]
+    assert soc.core_by_model("C").model.is64
+    with pytest.raises(KeyError):
+        soc.core_by_model("Z")
+
+
+def test_private_resources_are_distinct():
+    soc = Soc()
+    bases = {core.itcm.base for core in soc.cores}
+    assert len(bases) == 3
+    assert soc.cores[0].icache is not soc.cores[1].icache
+
+
+def test_placement_addresses_distinct_per_scenario():
+    seen = set()
+    for position in CodePosition:
+        for alignment in CodeAlignment:
+            for core in range(3):
+                address = placement_address(position, alignment, core)
+                assert address % 4 == 0
+                seen.add(address)
+    assert len(seen) == 27
+
+
+def test_placement_varies_line_phase():
+    phases = {
+        placement_address(position, CodeAlignment.QWORD, 0) % 32
+        for position in CodePosition
+    }
+    assert len(phases) == 3
+
+
+def test_dispatch_program_runs_whole_library():
+    library = build_library(CORE_MODEL_A, include_module_tests=False)
+    schedule = ParallelSchedule.round_robin({0: library})
+    ctx = RoutineContext.for_core(0, CORE_MODEL_A)
+    program = build_dispatch_program(
+        library, schedule.per_core[0], 0x400, ctx
+    )
+    soc = Soc()
+    soc.load(program)
+    soc.start_core(0, 0x400)
+    soc.run(max_cycles=2_000_000)
+    core = soc.cores[0]
+    assert core.done
+    assert core.regfile.read(SIG_REG) != 0
+
+
+def test_parallel_session_loads_all_cores():
+    libraries = {
+        i: build_library(m, include_module_tests=False)
+        for i, m in enumerate((CORE_MODEL_A, CORE_MODEL_B, CORE_MODEL_C))
+    }
+    schedule = ParallelSchedule.round_robin(libraries)
+    soc = Soc()
+    entries = load_parallel_session(soc, libraries, schedule)
+    assert set(entries) == {0, 1, 2}
+    for core_id, entry in entries.items():
+        soc.cores[core_id].recording = False
+        soc.start_core(core_id, entry)
+    soc.run(max_cycles=4_000_000)
+    assert all(core.done for core in soc.cores)
+
+
+def test_stall_monitor_reports_started_cores_only():
+    soc = Soc()
+    from repro.isa import assemble
+
+    soc.load(assemble(".org 0x100\nnop\nhalt\n"))
+    soc.start_core(1, 0x100)
+    soc.run()
+    report = StallMonitor().snapshot(soc)
+    assert report.active_cores == 1
+    assert report.per_core[0].core_id == 1
+    assert report.total_cycles == report.per_core[0].cycles
+
+
+def test_stalls_grow_superlinearly_with_active_cores():
+    """Table I's shape, in miniature."""
+    totals = {}
+    for active in (1, 2, 3):
+        libraries = {
+            i: build_library(m, include_module_tests=False)
+            for i, m in list(enumerate((CORE_MODEL_A, CORE_MODEL_B, CORE_MODEL_C)))[
+                :active
+            ]
+        }
+        schedule = ParallelSchedule.round_robin(libraries)
+        soc = Soc()
+        entries = load_parallel_session(soc, libraries, schedule)
+        for core_id, entry in entries.items():
+            soc.cores[core_id].recording = False
+            soc.start_core(core_id, entry)
+        soc.run(max_cycles=8_000_000)
+        report = StallMonitor().snapshot(soc)
+        totals[active] = report.total_if_stalls
+    assert totals[2] > 2 * totals[1]
+    assert totals[3] > 1.5 * totals[2]
+
+
+def test_run_cycles_partial_progress():
+    soc = Soc()
+    from repro.isa import assemble
+
+    soc.load(assemble(".org 0x100\nnop\nnop\nhalt\n"))
+    soc.start_core(0, 0x100)
+    soc.run_cycles(2)
+    assert soc.cycle == 2
+    assert soc.cores[0].active

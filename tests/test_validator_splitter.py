@@ -1,0 +1,129 @@
+"""Tests of the rule-2.1/2.2 validator and the routine splitter."""
+
+import pytest
+
+from repro.core import (
+    build_cache_wrapped,
+    split_routine,
+    validate_cache_residency,
+)
+from repro.cpu.core import CORE_MODEL_A, ICACHE_CONFIG
+from repro.errors import RoutineTooLargeError
+from repro.mem.cache import CacheConfig
+from repro.stl import RoutineContext
+from repro.stl.routines import make_forwarding_routine
+from repro.stl.routines.forwarding import (
+    forwarding_block_emitters,
+    forwarding_setup_emitter,
+    forwarding_teardown_emitter,
+)
+from tests.conftest import run_program
+
+CTX = RoutineContext.for_core(0, CORE_MODEL_A)
+TINY_ICACHE = CacheConfig(name="tiny", size_bytes=2 << 10)
+
+
+def test_wrapped_routine_validates_clean():
+    routine = make_forwarding_routine(CORE_MODEL_A, with_pcs=False)
+    program = build_cache_wrapped(routine, 0x1000, CTX)
+    report = validate_cache_residency(program, ICACHE_CONFIG)
+    assert report.ok, report.summary()
+
+
+def test_oversized_program_flagged():
+    routine = make_forwarding_routine(CORE_MODEL_A, with_pcs=False)
+    program = build_cache_wrapped(routine, 0x1000, CTX)
+    report = validate_cache_residency(program, TINY_ICACHE)
+    assert not report.ok
+    assert any("split" in v for v in report.violations)
+
+
+def test_external_jump_flagged():
+    from repro.isa.builder import AsmBuilder
+    from repro.isa.instructions import Instruction, Mnemonic
+
+    asm = AsmBuilder(0x1000)
+    asm.emit(Instruction(Mnemonic.J, imm=0x9000 // 4))
+    asm.halt()
+    report = validate_cache_residency(asm.build(), ICACHE_CONFIG)
+    assert not report.ok
+    assert any("leaves the routine" in v for v in report.violations)
+
+
+def test_data_dependent_branch_warned_not_failed():
+    from repro.isa.builder import AsmBuilder
+
+    asm = AsmBuilder(0x1000)
+    asm.label("body")
+    asm.beq(1, 2, "body")
+    asm.halt()
+    report = validate_cache_residency(asm.build(), ICACHE_CONFIG)
+    assert report.ok
+    assert report.warnings
+
+
+def test_wrapper_loop_branch_is_allowed():
+    routine = make_forwarding_routine(
+        CORE_MODEL_A, with_pcs=False, patterns_per_path=1
+    )
+    program = build_cache_wrapped(routine, 0x1000, CTX)
+    report = validate_cache_residency(program, ICACHE_CONFIG)
+    # The loop back-edge and the signature check are exempt from 2.1.
+    assert not report.warnings
+
+
+def test_split_not_needed_returns_single_part():
+    blocks = forwarding_block_emitters(CORE_MODEL_A, patterns_per_path=1)
+    parts = split_routine(
+        "fwd", "FWD", blocks, CTX, ICACHE_CONFIG,
+        setup=forwarding_setup_emitter(CORE_MODEL_A, False),
+        teardown=forwarding_teardown_emitter(CORE_MODEL_A, False),
+    )
+    assert len(parts) == 1
+    assert parts[0].name == "fwd"
+
+
+def test_split_produces_cache_sized_parts():
+    blocks = forwarding_block_emitters(CORE_MODEL_A, patterns_per_path=5)
+    parts = split_routine(
+        "fwd", "FWD", blocks, CTX, TINY_ICACHE,
+        setup=forwarding_setup_emitter(CORE_MODEL_A, False),
+        teardown=forwarding_teardown_emitter(CORE_MODEL_A, False),
+    )
+    assert len(parts) > 1
+    for part in parts:
+        program = build_cache_wrapped(part, 0x1000, CTX)
+        assert program.size_bytes <= TINY_ICACHE.size_bytes, part.name
+
+
+def test_split_preserves_all_blocks():
+    """Splitting must not drop coverage: the parts' combined excitation
+    equals the unsplit routine's ('it does not compromise the fault
+    coverage of the original single-core test procedure')."""
+    blocks = forwarding_block_emitters(
+        CORE_MODEL_A, patterns_per_path=2, load_use_blocks=0
+    )
+    parts = split_routine(
+        "fwd", "FWD", blocks, CTX, TINY_ICACHE,
+        setup=forwarding_setup_emitter(CORE_MODEL_A, False),
+    )
+    combined_paths = set()
+    for part in parts:
+        program = build_cache_wrapped(part, 0x1000, CTX)
+        _, core = run_program(program)
+        combined_paths |= core.log.forwarded_path_set()
+    assert len(combined_paths) == 16
+
+
+def test_unsplittable_block_raises():
+    def huge_block(asm, ctx):
+        for i in range(3000):
+            asm.nop()
+
+    with pytest.raises(RoutineTooLargeError):
+        split_routine("huge", "GEN", [huge_block], CTX, TINY_ICACHE)
+
+
+def test_split_rejects_empty():
+    with pytest.raises(ValueError):
+        split_routine("empty", "GEN", [], CTX, TINY_ICACHE)
