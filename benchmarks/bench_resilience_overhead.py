@@ -1,0 +1,138 @@
+"""Cost of the resilience layer: supervision, recovery, bus glitches.
+
+Three questions a safety architect asks before enabling the layer:
+
+* what does *supervision itself* cost when nothing goes wrong?
+  (answer: zero simulated cycles — the watchdog/judging is host-side);
+* what does *recovering* from one transient cost?  (answer: one extra
+  routine execution — the failed attempt plus the clean re-run);
+* what do sub-percent interconnect glitch rates do to the runtime of a
+  cache-wrapped routine?  (answer: single-digit percent — once the
+  caches are warm the execution loop does not touch the bus).
+"""
+
+from repro.core import build_cache_wrapped, finalise_with_expected
+from repro.cpu.core import CORE_MODEL_A
+from repro.faults import BusGlitcher, ExecutionEntryCorruption, SoftErrorInjector
+from repro.soc import RoutineSpec, Soc
+from repro.soc import TestSupervisor as Supervisor
+from repro.stl import RoutineContext
+from repro.stl import TestRoutine as Routine
+from repro.stl.conventions import DATA_PTR, RESULT_PASS
+from repro.stl.routines import make_forwarding_routine
+from repro.stl.signature import emit_signature_update
+from repro.utils.tables import format_table
+
+CTX = RoutineContext.for_core(0, CORE_MODEL_A)
+ENTRY = 0x1000
+SEED = 2024
+
+
+def checked(routine):
+    return finalise_with_expected(
+        lambda e: build_cache_wrapped(routine, ENTRY, CTX, e), 0
+    )
+
+
+def load_chain_routine() -> Routine:
+    """Eight loads over one D-cache line, folded into the signature —
+    the body on which a between-loop flip is guaranteed observable."""
+
+    def emit_body(asm, ctx):
+        for i in range(8):
+            asm.lw(1, 4 * i, DATA_PTR)
+            emit_signature_update(asm, 1)
+
+    return Routine("ld_chain", "GEN", emit_body)
+
+
+def fresh(program, glitcher=None) -> Soc:
+    soc = Soc()
+    soc.load(program)
+    soc.bus.glitcher = glitcher
+    return soc
+
+
+def spec(name, expected) -> RoutineSpec:
+    return RoutineSpec(
+        name=name,
+        core_id=0,
+        entry_point=ENTRY,
+        mailbox_address=CTX.mailbox_address,
+        expected_signature=expected,
+    )
+
+
+def bare_cycles(program) -> int:
+    soc = fresh(program)
+    soc.start_core(0, ENTRY)
+    return soc.run(max_cycles=4_000_000)
+
+
+def test_resilience_overhead(emit):
+    fwd_program, fwd_expected = checked(
+        make_forwarding_routine(CORE_MODEL_A, with_pcs=False)
+    )
+    ld_program, ld_expected = checked(load_chain_routine())
+
+    rows = []
+
+    def row(label, cycles, baseline, outcome):
+        overhead = 100.0 * (cycles - baseline) / baseline
+        rows.append((label, f"{cycles:,}", f"{overhead:+.1f}%", outcome))
+
+    # Supervision is free: same simulated cycles as the bare run.
+    fwd_baseline = bare_cycles(fwd_program)
+    row("fwd: bare run (baseline)", fwd_baseline, fwd_baseline, "PASS")
+    report = Supervisor(fresh(fwd_program)).run_routine(spec("fwd", fwd_expected))
+    assert report.passed
+    row(
+        "fwd: supervised, no faults",
+        report.attempts[0].cycles,
+        fwd_baseline,
+        report.attempts[0].outcome,
+    )
+
+    # Glitched interconnect at field-plausible rates (architecturally
+    # invisible: the verdict stays PASS throughout).
+    for delay_rate, error_rate in ((0.01, 0.0), (0.1, 0.0), (0.0, 0.01), (0.1, 0.01)):
+        soc = fresh(
+            fwd_program,
+            BusGlitcher(seed=SEED, delay_rate=delay_rate, error_rate=error_rate),
+        )
+        soc.start_core(0, ENTRY)
+        cycles = soc.run(max_cycles=4_000_000)
+        verdict = soc.cores[0].dtcm.read_word(CTX.mailbox_address)
+        assert verdict == RESULT_PASS
+        row(
+            f"fwd: bus glitches d={delay_rate:.0%} e={error_rate:.0%}",
+            cycles,
+            fwd_baseline,
+            "PASS",
+        )
+
+    # Recovery cost: the failed attempt plus the clean re-run, measured
+    # on a body whose execution loop consumes the corrupted line.
+    ld_baseline = bare_cycles(ld_program)
+    row("ld_chain: bare run (baseline)", ld_baseline, ld_baseline, "PASS")
+    soc = fresh(ld_program)
+    injector = SoftErrorInjector(seed=SEED)
+    soc.fault_hooks.append(ExecutionEntryCorruption(0, injector))
+    report = Supervisor(soc, injector=injector).run_routine(
+        spec("ld_chain", ld_expected)
+    )
+    assert report.recovered and len(report.attempts) == 2
+    row(
+        "ld_chain: flip + supervised retry",
+        sum(a.cycles for a in report.attempts),
+        ld_baseline,
+        f"{report.attempts[0].outcome} -> {report.attempts[1].outcome}",
+    )
+
+    emit(
+        format_table(
+            ("scenario", "cycles", "vs baseline", "outcome"),
+            rows,
+            title="Resilience-layer overhead (cache-wrapped routines, core A)",
+        )
+    )

@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Transient-fault resilience, end to end.
+
+The cache-based wrapper makes a routine's signature deterministic under
+*benign* interference (bus contention).  This demo shows the stronger
+property the supervisor adds on top: recovery from *destructive*
+transients.
+
+* A seeded soft error flips one bit of a warm D-cache line exactly
+  between the wrapper's loading and execution loops.  The execution
+  loop consumes the corrupted line -> signature mismatch.  One
+  supervised retry re-enters the loading loop, the wrapper invalidates
+  the (clean) corrupt line and re-warms it from untouched SRAM -> the
+  golden signature is restored.
+* Under a persistent disturbance (every bus response to the core errors
+  out), retries cannot help: the supervisor burns its budget and
+  quarantines the routine instead of hanging the boot-time session.
+
+Everything is reproducible: rerun with the same --seed and the flip
+lands on the same bit, the report is bit-for-bit identical.
+"""
+
+import argparse
+
+from repro.core import build_cache_wrapped, finalise_with_expected
+from repro.cpu.core import CORE_MODEL_A
+from repro.faults import AlwaysGlitch, ExecutionEntryCorruption, SoftErrorInjector
+from repro.soc import RoutineSpec, Soc, TestSupervisor
+from repro.stl import RoutineContext, TestRoutine
+from repro.stl.conventions import DATA_PTR
+from repro.stl.signature import emit_signature_update
+from repro.utils.tables import format_table
+
+CTX = RoutineContext.for_core(0, CORE_MODEL_A)
+ENTRY = 0x1000
+
+
+def load_chain_routine() -> TestRoutine:
+    """Eight loads covering one D-cache line, each folded into the
+    signature — the body that makes between-loop corruption visible."""
+
+    def emit_body(asm, ctx):
+        for i in range(8):
+            asm.lw(1, 4 * i, DATA_PTR)
+            emit_signature_update(asm, 1)
+
+    return TestRoutine("ld_chain", "GEN", emit_body)
+
+
+def fresh_soc(program) -> Soc:
+    soc = Soc()
+    soc.load(program)
+    return soc
+
+
+def attempt_rows(report):
+    rows = []
+    for routine in report.routines:
+        for record in routine.attempts:
+            rows.append(
+                (
+                    routine.name,
+                    record.attempt,
+                    record.outcome,
+                    f"{record.cycles:,}",
+                    "-" if record.signature is None else f"{record.signature:#010x}",
+                )
+            )
+    return rows
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=2024)
+    args = parser.parse_args()
+
+    program, expected = finalise_with_expected(
+        lambda e: build_cache_wrapped(load_chain_routine(), ENTRY, CTX, e), 0
+    )
+    spec = RoutineSpec(
+        name="ld_chain",
+        core_id=0,
+        entry_point=ENTRY,
+        mailbox_address=CTX.mailbox_address,
+        expected_signature=expected,
+    )
+
+    # Scenario 1: one transient bit flip between the loops.
+    soc = fresh_soc(program)
+    injector = SoftErrorInjector(seed=args.seed)
+    soc.fault_hooks.append(ExecutionEntryCorruption(0, injector, which="dcache"))
+    supervisor = TestSupervisor(soc, max_retries=2, injector=injector)
+    transient = supervisor.run_session([spec])
+    flip = injector.log[0]
+    print(
+        format_table(
+            ("routine", "attempt", "outcome", "cycles", "signature"),
+            attempt_rows(transient),
+            title=(
+                f"Transient: bit {flip.bit} of word {flip.word_index} in "
+                f"{flip.target} flipped at cycle {flip.cycle} "
+                f"(golden {expected:#010x})"
+            ),
+        )
+    )
+    print(
+        f"\nrecovered: {transient.recovered_names}, "
+        f"quarantined: {transient.quarantined_names}\n"
+    )
+
+    # Scenario 2: persistent interconnect disturbance -> quarantine.
+    soc = fresh_soc(program)
+    soc.bus.glitcher = AlwaysGlitch(target_core=0)
+    supervisor = TestSupervisor(soc, max_retries=2)
+    persistent = supervisor.run_session([spec])
+    print(
+        format_table(
+            ("routine", "attempt", "outcome", "cycles", "signature"),
+            attempt_rows(persistent),
+            title="Persistent: every bus response to core 0 errors out",
+        )
+    )
+    print(
+        f"\nrecovered: {persistent.recovered_names}, "
+        f"quarantined: {persistent.quarantined_names}"
+    )
+    print(
+        "\nA transient is repaired by one supervised retry (the loading"
+        "\nloop re-warms the caches); a persistent fault exhausts the"
+        "\nretry budget and the routine is quarantined with its full"
+        "\nattempt history on record."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -142,6 +142,22 @@ class Core:
         self.halted = False
         self.started = True
 
+    def hard_reset(self, pc: int) -> None:
+        """Forcibly restart at ``pc``, abandoning all in-flight work.
+
+        Used by the test supervisor to re-enter a routine after a
+        watchdog trip: pipeline latches are flushed and the memory unit
+        cancels its access, but caches, TCMs and counters keep their
+        state — re-convergence is the wrapper's job (it invalidates and
+        re-warms the caches itself).
+        """
+        self.exmem_latch = []
+        self.memwb_latch = []
+        self.retire_latch = []
+        self.memunit.cancel()
+        self.testwin = 0
+        self.reset(pc)
+
     @property
     def done(self) -> bool:
         """True once HALT has issued and the pipeline has drained."""

@@ -24,6 +24,7 @@ from __future__ import annotations
 from collections import deque
 from functools import lru_cache
 
+from repro.errors import BusError, MemoryError_
 from repro.isa.encoding import decode
 from repro.isa.instructions import Instruction
 from repro.mem.bus import SystemBus, Transaction, TxnKind
@@ -45,6 +46,8 @@ class FetchUnit:
     UNCACHED_GROUP_BYTES = 16
     #: Outstanding uncached bursts (the prefetch stream depth).
     UNCACHED_PIPELINE = 2
+    #: Bounded re-submissions of a fetch that got a bus error response.
+    BUS_RETRY_LIMIT = 3
 
     def __init__(
         self,
@@ -77,7 +80,10 @@ class FetchUnit:
     def redirect(self, pc: int) -> None:
         """Branch redirect: flush the queue, drop any in-flight fetches."""
         if pc % 4:
-            raise ValueError(f"fetch target {pc:#x} is not word-aligned")
+            raise MemoryError_(
+                f"core {self.core_id}: fetch target {pc:#010x} is not "
+                "word-aligned"
+            )
         self.fetch_pc = pc
         self.queue.clear()
         for entry in self._inflight:
@@ -94,7 +100,7 @@ class FetchUnit:
 
     def step(self, cycle: int, halted: bool) -> None:
         """Collect completed fetches (in order) and launch new ones."""
-        self._collect()
+        self._collect(cycle)
         if halted:
             return
         pc = self.fetch_pc
@@ -107,11 +113,26 @@ class FetchUnit:
         else:
             self._fetch_uncached(cycle)
 
-    def _collect(self) -> None:
+    def _collect(self, cycle: int) -> None:
         while self._inflight and self._inflight[0][0].done:
             txn, pc, is_fill, discard = self._inflight.popleft()
             if discard:
                 continue
+            if txn.error:
+                # Retriable bus error response: re-submit the same fetch
+                # at the head of the stream so program order holds, up
+                # to the bounded retry budget.
+                if txn.retries >= self.BUS_RETRY_LIMIT:
+                    raise BusError(
+                        "instruction fetch failed",
+                        core_id=self.core_id,
+                        address=txn.address,
+                        kind="ifetch",
+                        retries=txn.retries,
+                    )
+                retry = self.bus.submit(txn.retry_clone(), cycle)
+                self._inflight.appendleft([retry, pc, is_fill, False])
+                return
             if is_fill:
                 self.icache.install(txn.address, txn.data)
                 # The requested words are read out of the cache on the

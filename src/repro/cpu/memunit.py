@@ -15,7 +15,7 @@ methodology requires a dummy load after each store (Section III.1).
 
 from __future__ import annotations
 
-from repro.errors import SimulationError
+from repro.errors import BusError, SimulationError
 from repro.cpu.uop import Uop
 from repro.mem.bus import SystemBus, Transaction, TxnKind
 from repro.mem.cache import Cache, FillPlan
@@ -25,6 +25,9 @@ from repro.mem.tcm import Tcm
 
 class MemoryUnit:
     """Per-core load/store sequencer."""
+
+    #: Bounded re-submissions of an access that got a bus error response.
+    BUS_RETRY_LIMIT = 3
 
     def __init__(
         self,
@@ -57,6 +60,17 @@ class MemoryUnit:
         """True when the current access is stalled on a bus transaction
         (as opposed to the fixed one-cycle TCM / cache-hit latency)."""
         return self._uop is not None and self._phase != "wait"
+
+    def cancel(self) -> None:
+        """Abandon the in-flight access (supervisor hard reset).
+
+        Any transaction still queued on the bus completes harmlessly;
+        its result is simply never collected.
+        """
+        self._uop = None
+        self._phase = None
+        self._txn = None
+        self._plan = None
 
     # ------------------------------------------------------------------
     # Access initiation.
@@ -195,6 +209,20 @@ class MemoryUnit:
             return True
         txn = self._txn
         if txn is None or not txn.done:
+            return False
+        if txn.error:
+            # Retriable bus error response: re-submit the same access in
+            # the same phase, up to the bounded retry budget.
+            if txn.retries >= self.BUS_RETRY_LIMIT:
+                kind = "write" if txn.is_write else "read"
+                raise BusError(
+                    "data access failed",
+                    core_id=self.core_id,
+                    address=txn.address,
+                    kind=kind,
+                    retries=txn.retries,
+                )
+            self._txn = self.bus.submit(txn.retry_clone(), cycle)
             return False
         if self._phase == "writeback":
             self._txn = None

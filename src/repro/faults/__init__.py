@@ -7,13 +7,26 @@ from repro.faults.atpg import (
     random_pattern_atpg,
 )
 from repro.faults.campaign import (
+    COVERAGE_GRADERS,
+    CampaignCheckpoint,
     CoverageRange,
     ModuleCoverage,
+    ScenarioOutcome,
     coverage_range,
     forwarding_coverage,
     forwarding_transition_coverage,
     hdcu_coverage,
     icu_coverage,
+    run_checkpointed_campaign,
+)
+from repro.faults.soft_errors import (
+    AlwaysGlitch,
+    BusGlitcher,
+    CycleTrigger,
+    ExecutionEntryCorruption,
+    GlitchStats,
+    InjectionRecord,
+    SoftErrorInjector,
 )
 from repro.faults.transition import (
     TransitionFault,
@@ -47,9 +60,20 @@ __all__ = [
     "forwarding_ceiling",
     "forwarding_select_constraint",
     "random_pattern_atpg",
+    "COVERAGE_GRADERS",
+    "CampaignCheckpoint",
     "CoverageRange",
     "ModuleCoverage",
+    "ScenarioOutcome",
     "coverage_range",
+    "run_checkpointed_campaign",
+    "AlwaysGlitch",
+    "BusGlitcher",
+    "CycleTrigger",
+    "ExecutionEntryCorruption",
+    "GlitchStats",
+    "InjectionRecord",
+    "SoftErrorInjector",
     "forwarding_coverage",
     "forwarding_transition_coverage",
     "TransitionFault",

@@ -9,10 +9,14 @@ deterministic-vs-fluctuating evidence.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.cpu.core import CoreModel
 from repro.cpu.recording import ActivationLog
+from repro.errors import CheckpointError, ReproError
 from repro.faults.generators import CoreModules, get_modules
 from repro.faults.observability import (
     forwarding_pattern_sets,
@@ -40,6 +44,23 @@ class ModuleCoverage:
         if self.total_faults == 0:
             return 0.0
         return 100.0 * self.detected_faults / self.total_faults
+
+    def to_dict(self) -> dict:
+        return {
+            "module": self.module,
+            "core_model": self.core_model,
+            "total_faults": self.total_faults,
+            "detected_faults": self.detected_faults,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ModuleCoverage":
+        return cls(
+            module=data["module"],
+            core_model=data["core_model"],
+            total_faults=data["total_faults"],
+            detected_faults=data["detected_faults"],
+        )
 
 
 def forwarding_coverage(log: ActivationLog, model: CoreModel) -> ModuleCoverage:
@@ -158,3 +179,182 @@ def coverage_range(coverages: list[ModuleCoverage]) -> CoverageRange:
         minimum_percent=min(values),
         maximum_percent=max(values),
     )
+
+
+# ----------------------------------------------------------------------
+# Supervised, checkpointed coverage campaigns.
+#
+# A long in-field campaign must survive a crashed or hung scenario run:
+# each scenario executes under a cycle deadline with bounded retries
+# (the supervisor discipline of repro.soc.supervisor applied at campaign
+# granularity), a scenario that keeps failing is quarantined as a
+# recorded error instead of aborting the sweep, and every finished
+# scenario is checkpointed to JSON so a killed campaign resumes where it
+# left off and produces coverage identical to an uninterrupted run.
+# ----------------------------------------------------------------------
+
+#: Module label -> grading function over one core's activation log.
+COVERAGE_GRADERS = {
+    "FWD": forwarding_coverage,
+    "HDCU": hdcu_coverage,
+    "ICU": icu_coverage,
+    "FWD-TDF": forwarding_transition_coverage,
+}
+
+CHECKPOINT_VERSION = 1
+
+
+@dataclass
+class ScenarioOutcome:
+    """One scenario's graded coverages — or its recorded failure."""
+
+    label: str
+    coverages: list[dict] = field(default_factory=list)
+    error: str | None = None
+    attempts: int = 1
+
+    @property
+    def failed(self) -> bool:
+        return self.error is not None
+
+    def module_coverages(self) -> list[ModuleCoverage]:
+        return [ModuleCoverage.from_dict(c) for c in self.coverages]
+
+    def to_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "coverages": self.coverages,
+            "error": self.error,
+            "attempts": self.attempts,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScenarioOutcome":
+        return cls(
+            label=data["label"],
+            coverages=list(data["coverages"]),
+            error=data["error"],
+            attempts=data["attempts"],
+        )
+
+
+class CampaignCheckpoint:
+    """JSON checkpoint of a partially-run coverage campaign.
+
+    The file is rewritten atomically (tmp + rename) after every
+    scenario, so a kill at any instant leaves either the previous or the
+    new consistent state — never a torn file.
+    """
+
+    def __init__(self, path: str | Path, modules: tuple[str, ...]):
+        self.path = Path(path)
+        self.modules = tuple(modules)
+        self.outcomes: dict[str, ScenarioOutcome] = {}
+        if self.path.exists():
+            self._load()
+
+    def _load(self) -> None:
+        try:
+            data = json.loads(self.path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CheckpointError(f"unreadable checkpoint {self.path}: {exc}")
+        if data.get("version") != CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"checkpoint {self.path} has version {data.get('version')!r}, "
+                f"expected {CHECKPOINT_VERSION}"
+            )
+        if tuple(data.get("modules", ())) != self.modules:
+            raise CheckpointError(
+                f"checkpoint {self.path} graded modules "
+                f"{data.get('modules')}, this campaign grades "
+                f"{list(self.modules)}; refusing to mix them"
+            )
+        for entry in data.get("scenarios", []):
+            outcome = ScenarioOutcome.from_dict(entry)
+            self.outcomes[outcome.label] = outcome
+
+    def done(self, label: str) -> bool:
+        return label in self.outcomes
+
+    def record(self, outcome: ScenarioOutcome) -> None:
+        self.outcomes[outcome.label] = outcome
+        self.save()
+
+    def save(self) -> None:
+        data = {
+            "version": CHECKPOINT_VERSION,
+            "modules": list(self.modules),
+            "scenarios": [o.to_dict() for o in self.outcomes.values()],
+        }
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        tmp.write_text(json.dumps(data, indent=2) + "\n")
+        os.replace(tmp, self.path)
+
+
+def run_checkpointed_campaign(
+    builders,
+    scenarios,
+    models: dict[int, CoreModel],
+    checkpoint_path: str | Path,
+    modules: tuple[str, ...] = ("FWD",),
+    soc_config=None,
+    max_cycles: int = 4_000_000,
+    retries: int = 1,
+    on_scenario=None,
+) -> dict[str, ScenarioOutcome]:
+    """Run a coverage campaign with supervision and JSON checkpointing.
+
+    ``builders``/``scenarios`` are as for
+    :func:`repro.core.determinism.run_campaign`; ``models`` maps core id
+    to its :class:`CoreModel` for grading, and ``modules`` names the
+    fault lists to grade (keys of :data:`COVERAGE_GRADERS`).
+
+    Per scenario: the run executes under ``max_cycles`` (the per-module
+    watchdog), a :class:`repro.errors.ReproError` triggers up to
+    ``retries`` clean re-runs (a fresh SoC each time), and persistent
+    failure quarantines the scenario as an ``error`` outcome rather than
+    aborting the campaign.  Completed scenarios found in the checkpoint
+    are skipped, so a killed campaign resumes where it left off.
+
+    ``on_scenario(outcome)``, when given, is called after each scenario
+    is checkpointed — the test hook used to simulate mid-run kills.
+    """
+    # Imported here: repro.core builds on repro.faults results in the
+    # analysis layer, so the module-level direction stays faults <- core.
+    from repro.core.determinism import run_scenario
+    from repro.soc.config import DEFAULT_SOC_CONFIG
+
+    unknown = [m for m in modules if m not in COVERAGE_GRADERS]
+    if unknown:
+        raise ValueError(f"unknown coverage modules {unknown}")
+    config = soc_config or DEFAULT_SOC_CONFIG
+    checkpoint = CampaignCheckpoint(checkpoint_path, modules)
+    for scenario in scenarios:
+        if checkpoint.done(scenario.label):
+            continue
+        outcome = ScenarioOutcome(label=scenario.label)
+        for attempt in range(1 + retries):
+            outcome.attempts = attempt + 1
+            try:
+                result = run_scenario(
+                    builders, scenario, config, max_cycles=max_cycles
+                )
+            except ReproError as exc:
+                outcome.error = f"{type(exc).__name__}: {exc}"
+                continue
+            outcome.error = None
+            outcome.coverages = [
+                {
+                    "core_id": core_id,
+                    **COVERAGE_GRADERS[module](
+                        result.per_core[core_id].log, models[core_id]
+                    ).to_dict(),
+                }
+                for module in modules
+                for core_id in scenario.active_cores
+            ]
+            break
+        checkpoint.record(outcome)
+        if on_scenario is not None:
+            on_scenario(outcome)
+    return dict(checkpoint.outcomes)

@@ -40,7 +40,26 @@ class Transaction:
     grant_cycle: int | None = None
     complete_cycle: int | None = None
     done: bool = False
+    #: Completed with a (retriable) error response instead of data.
+    error: bool = False
+    #: How many times this logical access has been re-submitted after an
+    #: error response (carried across retries by the issuing unit).
+    retries: int = 0
     data: list[int] = field(default_factory=list)
+
+    def retry_clone(self) -> "Transaction":
+        """A fresh copy of this transaction for one more bus attempt."""
+        return Transaction(
+            core_id=self.core_id,
+            kind=self.kind,
+            address=self.address,
+            burst_words=self.burst_words,
+            is_write=self.is_write,
+            write_values=list(self.write_values),
+            byte_write=self.byte_write,
+            atomic_set=self.atomic_set,
+            retries=self.retries + 1,
+        )
 
 
 @dataclass
@@ -50,10 +69,19 @@ class BusStats:
     transactions: int = 0
     wait_cycles: int = 0
     busy_cycles: int = 0
+    glitch_delay_cycles: int = 0
+    error_responses: int = 0
 
 
 class SystemBus:
-    """Single-master-at-a-time shared bus with round-robin core priority."""
+    """Single-master-at-a-time shared bus with round-robin core priority.
+
+    An optional *glitcher* (see :mod:`repro.faults.soft_errors`) models
+    transient interconnect disturbances: it may stretch a grant by a few
+    cycles (a delayed grant) or turn a completion into a retriable error
+    response, which the issuing fetch/memory unit re-submits up to its
+    bounded retry budget.
+    """
 
     def __init__(self, memmap: MemoryMap, num_cores: int):
         self.memmap = memmap
@@ -63,6 +91,10 @@ class SystemBus:
         self._rr_next = 0
         self.stats = {core: BusStats() for core in range(num_cores)}
         self.total_grants = 0
+        #: Optional disturbance model: an object with
+        #: ``grant_delay(txn, cycle) -> int`` and
+        #: ``error_response(txn, cycle) -> bool``.
+        self.glitcher = None
 
     def submit(self, txn: Transaction, cycle: int) -> Transaction:
         """Queue a transaction; it completes when ``txn.done`` turns True."""
@@ -108,10 +140,18 @@ class SystemBus:
         if chosen is None:  # pragma: no cover - queue non-empty implies a hit
             return
         self._queue.remove(chosen)
-        device = self.memmap.route(chosen.address)
+        try:
+            device = self.memmap.route(chosen.address)
+        except MemoryError_ as exc:
+            raise MemoryError_(f"core {chosen.core_id}: {exc}") from None
         latency = device.access_cycles(
             chosen.address, chosen.is_write, chosen.burst_words
         )
+        if self.glitcher is not None:
+            delay = self.glitcher.grant_delay(chosen, cycle)
+            if delay:
+                latency += delay
+                self.stats[chosen.core_id].glitch_delay_cycles += delay
         chosen.grant_cycle = cycle
         chosen.complete_cycle = cycle + latency
         self._current = chosen
@@ -120,6 +160,15 @@ class SystemBus:
         self.stats[chosen.core_id].transactions += 1
 
     def _finish(self, txn: Transaction) -> None:
+        if self.glitcher is not None and self.glitcher.error_response(
+            txn, txn.complete_cycle
+        ):
+            # Retriable error response: no data transfer happened; the
+            # issuing unit sees ``txn.error`` and re-submits (bounded).
+            self.stats[txn.core_id].error_responses += 1
+            txn.error = True
+            txn.done = True
+            return
         device = self.memmap.route(txn.address)
         if txn.atomic_set:
             txn.data = [device.read_word(txn.address)]

@@ -71,6 +71,7 @@ class CacheStats:
     writebacks: int = 0
     write_miss_bypasses: int = 0
     invalidations: int = 0
+    soft_error_flips: int = 0
 
     @property
     def accesses(self) -> int:
@@ -228,6 +229,51 @@ class Cache:
                 line.valid = False
                 line.dirty = False
         self.stats.invalidations += 1
+
+    # ------------------------------------------------------------------
+    # Soft-error injection (see repro.faults.soft_errors).
+    # ------------------------------------------------------------------
+
+    def valid_line_addresses(self) -> list[int]:
+        """Base addresses of every valid line, in deterministic order.
+
+        Ordered by (set, way) so a seeded injector picking an index is
+        reproducible run to run.
+        """
+        addresses = []
+        for set_index, cache_set in enumerate(self._sets):
+            for line in cache_set:
+                if line.valid:
+                    addresses.append(
+                        (line.tag * self.config.num_sets + set_index)
+                        * self.config.line_bytes
+                    )
+        return addresses
+
+    def flip_bit(self, line_address: int, word_index: int, bit: int) -> int:
+        """Flip one bit of a resident line (an SEU in the cache array).
+
+        The line's dirty/valid state is untouched — a particle strike
+        corrupts the data array, not the tag RAM bookkeeping.  Returns
+        the corrupted word.
+        """
+        location = self._find(line_address)
+        if location is None:
+            raise MemoryError_(
+                f"{self.config.name}: flip target {line_address:#010x} "
+                "is not resident"
+            )
+        if not 0 <= word_index < self.config.words_per_line:
+            raise MemoryError_(
+                f"{self.config.name}: word index {word_index} out of line"
+            )
+        if not 0 <= bit < 32:
+            raise MemoryError_(f"{self.config.name}: bit index {bit} out of range")
+        set_index, way = location
+        line = self._sets[set_index][way]
+        line.words[word_index] ^= 1 << bit
+        self.stats.soft_error_flips += 1
+        return line.words[word_index]
 
     # ------------------------------------------------------------------
     # Introspection helpers for tests and the Fig. 2 structural audit.

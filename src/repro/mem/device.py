@@ -25,6 +25,7 @@ class MemoryDevice:
         self._words: dict[int, int] = {}
         self.reads = 0
         self.writes = 0
+        self.soft_error_flips = 0
 
     # ------------------------------------------------------------------
     # Address handling.
@@ -78,6 +79,34 @@ class MemoryDevice:
         """Bulk-initialise contents from an address -> word mapping."""
         for address, word in image.items():
             self.write_word(address, word)
+
+    # ------------------------------------------------------------------
+    # Soft-error injection (see repro.faults.soft_errors).
+    # ------------------------------------------------------------------
+
+    def occupied_addresses(self) -> list[int]:
+        """Word addresses holding explicitly written data, sorted.
+
+        Injection targets are drawn from here so a seeded bit flip lands
+        on state the simulation actually uses (the sparse backing store
+        means unwritten words are an infinite sea of zeros).
+        """
+        return sorted(self._words)
+
+    def flip_bit(self, address: int, bit: int) -> int:
+        """Flip one bit of the word containing ``address`` (an SEU).
+
+        Bypasses the functional write path on purpose: a particle strike
+        in the array does not care about read-only programming guards.
+        Returns the corrupted word.
+        """
+        self._check(address)
+        if not 0 <= bit < 32:
+            raise MemoryError_(f"{self.name}: bit index {bit} out of range")
+        word = self._words.get(address & ~3, 0) ^ (1 << bit)
+        self._words[address & ~3] = word
+        self.soft_error_flips += 1
+        return word
 
     # ------------------------------------------------------------------
     # Timing.

@@ -2,14 +2,35 @@
 
 from __future__ import annotations
 
+from repro.errors import MemoryError_
 from repro.mem.device import MemoryDevice
+from repro.utils.rng import DeterministicRng
 
 
 class Sram(MemoryDevice):
     """Shared SRAM holding the STL's data buffers and scheduler state.
 
     A fixed pipelined access latency plus one cycle per extra burst word.
+    The array is modelled without ECC, matching the paper's case-study
+    SoC where the STL itself is the error-detection mechanism — so a
+    seeded soft error (:meth:`flip_random_bit`) stays resident until
+    software overwrites it.
     """
 
     def __init__(self, base: int = 0x2000_0000, size: int = 1 << 20, latency: int = 2):
         super().__init__("sram", base, size, latency)
+
+    def flip_random_bit(self, rng: DeterministicRng) -> tuple[int, int]:
+        """Flip a seeded-random bit of an occupied word; returns (addr, bit).
+
+        Drawing only from occupied words keeps the injection meaningful
+        (the sparse store's unwritten words never feed a computation) and
+        the sorted candidate list keeps it reproducible from the seed.
+        """
+        candidates = self.occupied_addresses()
+        if not candidates:
+            raise MemoryError_("sram holds no data to corrupt")
+        address = rng.choice(candidates)
+        bit = rng.randint(0, 31)
+        self.flip_bit(address, bit)
+        return address, bit

@@ -18,6 +18,13 @@ from repro.soc.loader import (
     placement_address,
 )
 from repro.soc.soc import Soc
+from repro.soc.supervisor import (
+    AttemptRecord,
+    RecoveryReport,
+    RoutineReport,
+    RoutineSpec,
+    TestSupervisor,
+)
 
 __all__ = [
     "CoreSchedule",
@@ -37,4 +44,9 @@ __all__ = [
     "place",
     "placement_address",
     "Soc",
+    "AttemptRecord",
+    "RecoveryReport",
+    "RoutineReport",
+    "RoutineSpec",
+    "TestSupervisor",
 ]

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from repro.cpu.core import Core
-from repro.errors import ExecutionLimitExceeded
+from repro.errors import CoreDiagnostic, ExecutionLimitExceeded
 from repro.isa.program import Program
 from repro.mem.bus import SystemBus
 from repro.mem.flash import Flash
@@ -45,6 +45,10 @@ class Soc:
             for core_id, model in enumerate(config.core_models)
         ]
         self.cycle = 0
+        #: Disturbance hooks called once per clock with the SoC (see
+        #: :mod:`repro.faults.soft_errors`); a hook that returns True is
+        #: spent and removed.
+        self.fault_hooks: list = []
 
     # ------------------------------------------------------------------
     # Program loading.
@@ -80,18 +84,41 @@ class Soc:
         self.bus.step(self.cycle)
         for core in self.cores:
             core.step(self.cycle)
+        if self.fault_hooks:
+            self.fault_hooks = [
+                hook for hook in self.fault_hooks if not hook(self)
+            ]
+
+    def core_diagnostics(self) -> tuple[CoreDiagnostic, ...]:
+        """Per-core state snapshots (attached to watchdog trips)."""
+        return tuple(
+            CoreDiagnostic(
+                core_id=core.core_id,
+                model=core.model.name,
+                pc=core.fetch.fetch_pc,
+                started=core.started,
+                halted=core.halted,
+                active=core.active,
+                cycles=core.cycles,
+                bus_wait_cycles=self.bus.stats[core.core_id].wait_cycles,
+            )
+            for core in self.cores
+        )
 
     def run(self, max_cycles: int = 2_000_000) -> int:
         """Run until every started core halts; returns elapsed cycles.
 
         Raises :class:`ExecutionLimitExceeded` when the budget runs out —
         the multi-core equivalent of a watchdog firing on a hung test.
+        The exception carries a :class:`CoreDiagnostic` per core (id, PC,
+        run state, bus-wait cycles) so the trip is debuggable.
         """
         start = self.cycle
         while any(core.active for core in self.cores):
             if self.cycle - start >= max_cycles:
                 raise ExecutionLimitExceeded(
-                    f"SoC still running after {max_cycles} cycles"
+                    f"SoC still running after {max_cycles} cycles",
+                    diagnostics=self.core_diagnostics(),
                 )
             self.step()
         return self.cycle - start

@@ -20,6 +20,7 @@ from repro.stl.runtime import (
     RuntimeSession,
     build_runtime_session,
     expected_app_checksum,
+    session_checksum,
     session_verdict,
 )
 from repro.stl.signature import (
@@ -51,6 +52,7 @@ __all__ = [
     "emit_testwin",
     "RuntimeSession",
     "build_runtime_session",
+    "session_checksum",
     "expected_app_checksum",
     "session_verdict",
     "SIGNATURE_SEED",

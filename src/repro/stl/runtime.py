@@ -136,9 +136,27 @@ def build_runtime_session(
     )
 
 
-def session_verdict(core) -> tuple[bool, bool]:
-    """(all self-tests passed, application checksum correct)."""
+def session_verdict(
+    core, session: "RuntimeSession | int"
+) -> tuple[bool, bool]:
+    """(all self-tests passed, application checksum correct).
+
+    ``session`` is the :class:`RuntimeSession` the core ran (or, for
+    callers that derived it themselves, the expected application
+    checksum as an int); the raw published checksum is available via
+    :func:`session_checksum` when the actual value is wanted.
+    """
+    expected = (
+        session.expected_app_checksum
+        if isinstance(session, RuntimeSession)
+        else session
+    )
     mailbox = core.dtcm.base
     verdict = core.dtcm.read_word(mailbox + VERDICT_OFFSET)
     checksum = core.dtcm.read_word(mailbox + APP_RESULT_OFFSET)
-    return verdict == RESULT_PASS, checksum
+    return verdict == RESULT_PASS, checksum == expected
+
+
+def session_checksum(core) -> int:
+    """The raw application checksum the core published."""
+    return core.dtcm.read_word(core.dtcm.base + APP_RESULT_OFFSET)

@@ -1,0 +1,160 @@
+"""Checkpoint/resume of supervised coverage campaigns (durability)."""
+
+import json
+
+import pytest
+
+from repro.core import cache_wrapped_builder
+from repro.core.determinism import Scenario
+from repro.cpu.core import CORE_MODEL_A, CORE_MODEL_B
+from repro.errors import CheckpointError
+from repro.faults import (
+    CampaignCheckpoint,
+    ScenarioOutcome,
+    run_checkpointed_campaign,
+)
+from repro.soc import CodeAlignment, CodePosition
+from repro.stl import RoutineContext
+from repro.stl.routines import make_forwarding_routine
+
+MODELS = {0: CORE_MODEL_A, 1: CORE_MODEL_B}
+
+
+def builders():
+    out = {}
+    for core_id, model in MODELS.items():
+        ctx = RoutineContext.for_core(core_id, model)
+        routine = make_forwarding_routine(
+            model, with_pcs=False, patterns_per_path=1, load_use_blocks=1
+        )
+        out[core_id] = cache_wrapped_builder(routine, ctx)
+    return out
+
+
+def scenarios():
+    return (
+        Scenario((0, 1), CodePosition.LOW, CodeAlignment.QWORD),
+        Scenario((0, 1), CodePosition.MID, CodeAlignment.WORD),
+    )
+
+
+def run_all(path, on_scenario=None):
+    return run_checkpointed_campaign(
+        builders(),
+        scenarios(),
+        MODELS,
+        path,
+        modules=("FWD",),
+        on_scenario=on_scenario,
+    )
+
+
+def as_dicts(outcomes):
+    return {label: outcome.to_dict() for label, outcome in outcomes.items()}
+
+
+# ----------------------------------------------------------------------
+# Acceptance (c): kill mid-run, resume, identical coverage.
+# ----------------------------------------------------------------------
+
+
+def test_killed_campaign_resumes_with_identical_coverage(tmp_path):
+    reference = run_all(tmp_path / "reference.json")
+    assert len(reference) == 2
+    assert all(not o.failed for o in reference.values())
+    assert all(o.coverages for o in reference.values())
+
+    # Simulated kill: the process dies right after the first scenario is
+    # checkpointed (on_scenario fires post-checkpoint, and a
+    # non-ReproError is deliberately NOT contained by the campaign).
+    path = tmp_path / "campaign.json"
+
+    def die(outcome):
+        raise KeyboardInterrupt("killed mid-campaign")
+
+    with pytest.raises(KeyboardInterrupt):
+        run_all(path, on_scenario=die)
+    saved = json.loads(path.read_text())
+    assert len(saved["scenarios"]) == 1
+
+    # Resume: only the remaining scenario runs...
+    resumed_labels = []
+    outcomes = run_all(path, on_scenario=lambda o: resumed_labels.append(o.label))
+    assert resumed_labels == [scenarios()[1].label]
+    # ... and the merged result matches the uninterrupted campaign.
+    assert as_dicts(outcomes) == as_dicts(reference)
+
+
+def test_completed_campaign_reruns_as_pure_checkpoint_reads(tmp_path):
+    path = tmp_path / "campaign.json"
+    first = run_all(path)
+    reran = []
+    second = run_all(path, on_scenario=lambda o: reran.append(o.label))
+    assert reran == []  # nothing left to execute
+    assert as_dicts(second) == as_dicts(first)
+
+
+# ----------------------------------------------------------------------
+# Supervision: a failing scenario is recorded, not fatal.
+# ----------------------------------------------------------------------
+
+
+def test_hung_scenario_is_retried_then_recorded_as_error(tmp_path):
+    outcomes = run_checkpointed_campaign(
+        builders(),
+        scenarios()[:1],
+        MODELS,
+        tmp_path / "campaign.json",
+        modules=("FWD",),
+        max_cycles=100,  # guaranteed watchdog trip
+        retries=2,
+    )
+    (outcome,) = outcomes.values()
+    assert outcome.failed
+    assert "ExecutionLimitExceeded" in outcome.error
+    assert outcome.attempts == 3  # 1 + retries
+    assert outcome.coverages == []
+    assert outcome.module_coverages() == []
+
+
+def test_unknown_module_is_rejected(tmp_path):
+    with pytest.raises(ValueError):
+        run_checkpointed_campaign(
+            builders(), scenarios(), MODELS, tmp_path / "c.json", modules=("NOPE",)
+        )
+
+
+# ----------------------------------------------------------------------
+# Checkpoint file hygiene.
+# ----------------------------------------------------------------------
+
+
+def test_checkpoint_rejects_garbage_file(tmp_path):
+    path = tmp_path / "c.json"
+    path.write_text("not json {")
+    with pytest.raises(CheckpointError):
+        CampaignCheckpoint(path, ("FWD",))
+
+
+def test_checkpoint_rejects_version_mismatch(tmp_path):
+    path = tmp_path / "c.json"
+    path.write_text(json.dumps({"version": 999, "modules": ["FWD"], "scenarios": []}))
+    with pytest.raises(CheckpointError):
+        CampaignCheckpoint(path, ("FWD",))
+
+
+def test_checkpoint_refuses_to_mix_module_sets(tmp_path):
+    path = tmp_path / "c.json"
+    checkpoint = CampaignCheckpoint(path, ("FWD",))
+    checkpoint.record(ScenarioOutcome(label="s1", coverages=[]))
+    with pytest.raises(CheckpointError):
+        CampaignCheckpoint(path, ("FWD", "ICU"))
+
+
+def test_checkpoint_save_is_atomic(tmp_path):
+    path = tmp_path / "c.json"
+    checkpoint = CampaignCheckpoint(path, ("FWD",))
+    checkpoint.record(ScenarioOutcome(label="s1"))
+    assert not path.with_suffix(".json.tmp").exists()
+    reloaded = CampaignCheckpoint(path, ("FWD",))
+    assert reloaded.done("s1") and not reloaded.done("s2")

@@ -1,0 +1,137 @@
+"""The error hierarchy and the bus/fetch edge cases it describes."""
+
+import inspect
+
+import pytest
+
+import repro.errors as errors_module
+from repro.errors import (
+    BusError,
+    CoreDiagnostic,
+    ExecutionLimitExceeded,
+    MemoryError_,
+    ReproError,
+)
+from repro.isa import AsmBuilder
+from repro.mem.bus import Transaction, TxnKind
+from repro.soc import Soc
+
+
+def test_every_exported_exception_is_a_repro_error():
+    """One ``except ReproError`` must catch the whole family."""
+    exception_types = [
+        obj
+        for _, obj in inspect.getmembers(errors_module, inspect.isclass)
+        if issubclass(obj, Exception)
+    ]
+    assert len(exception_types) >= 10
+    for exc_type in exception_types:
+        assert issubclass(exc_type, ReproError), exc_type.__name__
+
+
+def test_bus_error_message_carries_full_context():
+    err = BusError(
+        "data access failed", core_id=2, address=0x2000_0040, kind="read", retries=3
+    )
+    message = str(err)
+    assert "core 2" in message
+    assert "read" in message
+    assert "0x20000040" in message
+    assert "after 3 retries" in message
+    assert (err.core_id, err.address, err.kind, err.retries) == (
+        2,
+        0x2000_0040,
+        "read",
+        3,
+    )
+
+
+def test_bus_error_without_context_is_just_the_message():
+    assert str(BusError("boom")) == "boom"
+
+
+def test_misaligned_fetch_target_names_core_and_address():
+    soc = Soc()
+    with pytest.raises(MemoryError_) as excinfo:
+        soc.cores[0].fetch.redirect(0x103)
+    message = str(excinfo.value)
+    assert "core 0" in message
+    assert "0x00000103" in message
+    assert isinstance(excinfo.value, ReproError)
+
+
+def test_unmapped_bus_address_names_the_master():
+    soc = Soc()
+    soc.bus.submit(
+        Transaction(core_id=1, kind=TxnKind.DREAD, address=0xDEAD_0000), cycle=0
+    )
+    with pytest.raises(MemoryError_) as excinfo:
+        soc.bus.step(1)
+    message = str(excinfo.value)
+    assert "core 1" in message
+    assert "0xdead0000" in message
+    assert "unmapped" in message
+
+
+def test_unknown_bus_master_is_rejected():
+    soc = Soc()
+    with pytest.raises(MemoryError_):
+        soc.bus.submit(
+            Transaction(core_id=99, kind=TxnKind.DREAD, address=0x100), cycle=0
+        )
+
+
+def test_execution_limit_carries_per_core_diagnostics():
+    asm = AsmBuilder(0x100)
+    asm.label("spin")
+    asm.j("spin")
+    program = asm.build()
+    soc = Soc()
+    soc.load(program)
+    soc.start_core(0, 0x100)
+    with pytest.raises(ExecutionLimitExceeded) as excinfo:
+        soc.run(max_cycles=500)
+    err = excinfo.value
+    assert len(err.diagnostics) == len(soc.cores)
+    spinning = err.diagnostics[0]
+    assert spinning.core_id == 0
+    assert spinning.started and spinning.active and not spinning.halted
+    assert spinning.cycles > 0
+    # Cores that were never started are reported as off, not hung.
+    assert not err.diagnostics[1].started
+    assert "core 0" in str(err)
+    assert "running" in spinning.describe()
+    assert "off" in err.diagnostics[1].describe()
+
+
+def test_diagnostic_describe_distinguishes_done_from_halted():
+    done = CoreDiagnostic(
+        core_id=0,
+        model="A",
+        pc=0x100,
+        started=True,
+        halted=True,
+        active=False,
+        cycles=10,
+        bus_wait_cycles=2,
+    )
+    assert "halted" in done.describe()
+    assert "pc=0x00000100" in done.describe()
+
+
+def test_retried_transaction_clone_preserves_the_request():
+    txn = Transaction(
+        core_id=1,
+        kind=TxnKind.DWRITE,
+        address=0x2000_0000,
+        is_write=True,
+        write_values=[7],
+    )
+    txn.error = True
+    txn.done = True
+    clone = txn.retry_clone()
+    assert clone.retries == 1
+    assert not clone.done and not clone.error
+    assert clone.write_values == [7] and clone.write_values is not txn.write_values
+    assert (clone.core_id, clone.kind, clone.address) == (1, TxnKind.DWRITE, 0x2000_0000)
+    assert clone.retry_clone().retries == 2

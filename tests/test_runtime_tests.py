@@ -11,6 +11,7 @@ from repro.stl.routines import make_background_routines, make_forwarding_routine
 from repro.stl.runtime import (
     build_runtime_session,
     expected_app_checksum,
+    session_checksum,
     session_verdict,
 )
 
@@ -34,9 +35,9 @@ def test_session_runs_and_passes_single_core():
     soc.load(session.program)
     soc.start_core(0, session.entry_point)
     soc.run(max_cycles=4_000_000)
-    passed, checksum = session_verdict(soc.cores[0])
+    passed, checksum_ok = session_verdict(soc.cores[0], session)
     assert passed
-    assert checksum == session.expected_app_checksum
+    assert checksum_ok
 
 
 def test_runtime_tests_survive_full_contention():
@@ -53,9 +54,9 @@ def test_runtime_tests_survive_full_contention():
         soc.start_core(core_id, session.entry_point)
     soc.run(max_cycles=8_000_000)
     for core_id, session in sessions.items():
-        passed, checksum = session_verdict(soc.cores[core_id])
+        passed, checksum_ok = session_verdict(soc.cores[core_id], session)
         assert passed, f"core {core_id} run-time test failed under contention"
-        assert checksum == session.expected_app_checksum
+        assert checksum_ok
 
 
 def test_app_checksum_model_matches_hardware():
@@ -68,8 +69,9 @@ def test_app_checksum_model_matches_hardware():
         soc.load(session.program)
         soc.start_core(0, session.entry_point)
         soc.run(max_cycles=4_000_000)
-        _, checksum = session_verdict(soc.cores[0])
-        assert checksum == expected_app_checksum(rounds)
+        _, checksum_ok = session_verdict(soc.cores[0], expected_app_checksum(rounds))
+        assert checksum_ok
+        assert session_checksum(soc.cores[0]) == expected_app_checksum(rounds)
 
 
 def test_wrong_expected_signature_latches_fail():
@@ -82,10 +84,10 @@ def test_wrong_expected_signature_latches_fail():
     soc.load(session.program)
     soc.start_core(0, session.entry_point)
     soc.run(max_cycles=4_000_000)
-    passed, checksum = session_verdict(soc.cores[0])
+    passed, checksum_ok = session_verdict(soc.cores[0], session)
     assert not passed
     # The application itself is unaffected by the failing test.
-    assert checksum == session.expected_app_checksum
+    assert checksum_ok
 
 
 def test_pc_bearing_routine_rejected():

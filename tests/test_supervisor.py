@@ -1,0 +1,215 @@
+"""Supervised execution: watchdog, bounded retry, quarantine, reports.
+
+The acceptance story of the resilience layer:
+
+* a seeded cache-line bit flip between the wrapper's loading and
+  execution loops produces a signature mismatch that ONE supervised
+  retry repairs — the retry re-enters the loading loop, re-warms the
+  private caches and re-converges to the golden signature;
+* a hung routine trips the per-routine watchdog and is quarantined
+  after its retry budget, with the full attempt history in the
+  :class:`RecoveryReport`;
+* the whole disturbance-plus-recovery history is reproducible from the
+  injection seed.
+"""
+
+import pytest
+
+from repro.core import build_cache_wrapped, finalise_with_expected
+from repro.cpu.core import CORE_MODEL_A, CORE_MODEL_B
+from repro.faults import AlwaysGlitch, ExecutionEntryCorruption, SoftErrorInjector
+from repro.isa import AsmBuilder
+from repro.soc import RecoveryReport, RoutineSpec, Soc
+from repro.soc import TestSupervisor as Supervisor
+from repro.soc.supervisor import (
+    BUS_ERROR,
+    PASS,
+    SIGNATURE_MISMATCH,
+    WATCHDOG_TIMEOUT,
+)
+from repro.stl import RoutineContext
+from repro.stl import TestRoutine as Routine
+from repro.stl.conventions import DATA_PTR
+from repro.stl.signature import emit_signature_update
+
+CTX0 = RoutineContext.for_core(0, CORE_MODEL_A)
+
+
+def load_chain_routine() -> Routine:
+    """A body whose execution loop CONSUMES cached data: eight loads
+    covering exactly one 32-byte D-cache line, each folded into the
+    signature.  Any bit flipped in that line between the loops lands in
+    the checked signature (store-first bodies would mask it)."""
+
+    def emit_body(asm, ctx):
+        for i in range(8):
+            asm.lw(1, 4 * i, DATA_PTR)
+            emit_signature_update(asm, 1)
+
+    return Routine("ld_chain", "GEN", emit_body)
+
+
+def build_checked(base: int = 0x1000, ctx: RoutineContext = CTX0):
+    """Two-phase build of the cache-wrapped routine with its golden
+    signature check enabled."""
+    routine = load_chain_routine()
+    return finalise_with_expected(
+        lambda expected: build_cache_wrapped(routine, base, ctx, expected),
+        ctx.core_index,
+    )
+
+
+def spin_program(base: int = 0x5000):
+    asm = AsmBuilder(base)
+    asm.label("spin")
+    asm.j("spin")
+    return asm.build()
+
+
+def spec_for(name, ctx, entry, expected=None, deadline=200_000) -> RoutineSpec:
+    return RoutineSpec(
+        name=name,
+        core_id=ctx.core_index,
+        entry_point=entry,
+        mailbox_address=ctx.mailbox_address,
+        expected_signature=expected,
+        deadline_cycles=deadline,
+    )
+
+
+# ----------------------------------------------------------------------
+# Acceptance (a): transient cache corruption repaired by one retry.
+# ----------------------------------------------------------------------
+
+
+def test_cache_flip_between_loops_is_repaired_by_one_retry():
+    program, expected = build_checked()
+    soc = Soc()
+    soc.load(program)
+    injector = SoftErrorInjector(seed=2024)
+    soc.fault_hooks.append(ExecutionEntryCorruption(0, injector, which="dcache"))
+    supervisor = Supervisor(soc, max_retries=2, injector=injector)
+    report = supervisor.run_routine(spec_for("ld_chain", CTX0, 0x1000, expected))
+    # First attempt: the flip lands after cache warm-up, inside the
+    # checked execution loop -> signature mismatch.  Second attempt: the
+    # wrapper re-invalidates (dropping the corrupt, clean line) and
+    # re-warms from untouched SRAM -> golden signature.
+    assert [a.outcome for a in report.attempts] == [SIGNATURE_MISMATCH, PASS]
+    assert report.recovered and report.passed and not report.quarantined
+    assert report.attempts[0].signature != expected
+    assert report.attempts[1].signature == expected
+    assert len(injector.log) == 1
+    assert injector.log[0].kind == "cache-flip"
+    assert injector.log[0].target.startswith("dcache")
+
+
+def test_unperturbed_routine_passes_first_time():
+    program, expected = build_checked()
+    soc = Soc()
+    soc.load(program)
+    supervisor = Supervisor(soc)
+    report = supervisor.run_routine(spec_for("ld_chain", CTX0, 0x1000, expected))
+    assert [a.outcome for a in report.attempts] == [PASS]
+    assert report.passed and not report.recovered
+
+
+def test_icache_corruption_is_also_repaired():
+    """A flip in the (clean) I-cache between the loops corrupts the
+    execution loop's instruction stream; the retry's ICINV + reload
+    repairs it whatever the failure mode was."""
+    program, expected = build_checked()
+    soc = Soc()
+    soc.load(program)
+    injector = SoftErrorInjector(seed=7)
+    soc.fault_hooks.append(ExecutionEntryCorruption(0, injector, which="icache"))
+    supervisor = Supervisor(soc, max_retries=2, injector=injector)
+    report = supervisor.run_routine(spec_for("ld_chain", CTX0, 0x1000, expected))
+    assert report.passed
+    assert len(injector.log) == 1
+    assert injector.log[0].target.startswith("icache")
+
+
+# ----------------------------------------------------------------------
+# Acceptance (b): hung routine -> watchdog -> quarantine.
+# ----------------------------------------------------------------------
+
+
+def test_hung_routine_is_quarantined_after_the_retry_budget():
+    soc = Soc()
+    soc.load(spin_program())
+    supervisor = Supervisor(soc, max_retries=2)
+    spec = spec_for("hang", CTX0, 0x5000, deadline=2_000)
+    report = supervisor.run_routine(spec)
+    assert report.quarantined and not report.passed
+    assert len(report.attempts) == 3  # 1 + max_retries, then quarantine
+    assert report.failure_causes == [WATCHDOG_TIMEOUT] * 3
+    assert all(a.cycles >= 2_000 for a in report.attempts)
+    # The watchdog trip carries per-core diagnostics.
+    assert "core 0" in report.attempts[0].detail
+    # The core is parked so the rest of the session can proceed.
+    assert soc.cores[0].halted
+    assert not soc.cores[0].active
+
+
+def test_session_continues_past_a_quarantined_routine():
+    ctx1 = RoutineContext.for_core(1, CORE_MODEL_B)
+    wrapped, expected = build_checked(base=0x1000, ctx=ctx1)
+    soc = Soc()
+    soc.load(wrapped)
+    soc.load(spin_program())
+    supervisor = Supervisor(soc, max_retries=1)
+    report = supervisor.run_session(
+        [
+            spec_for("hang", CTX0, 0x5000, deadline=2_000),
+            spec_for("ld_chain", ctx1, 0x1000, expected),
+        ]
+    )
+    assert report.quarantined_names == ["hang"]
+    assert report.routine("ld_chain").passed
+    assert not report.all_passed
+    assert report.total_attempts == 3  # 2 failed + 1 passed
+    with pytest.raises(KeyError):
+        report.routine("nonexistent")
+
+
+def test_persistent_bus_faults_quarantine_with_bus_error_cause():
+    program, expected = build_checked()
+    soc = Soc()
+    soc.load(program)
+    soc.bus.glitcher = AlwaysGlitch(target_core=0)
+    supervisor = Supervisor(soc, max_retries=1)
+    report = supervisor.run_routine(spec_for("ld_chain", CTX0, 0x1000, expected))
+    assert report.quarantined
+    assert report.failure_causes == [BUS_ERROR, BUS_ERROR]
+    assert "core 0" in report.attempts[0].detail
+
+
+# ----------------------------------------------------------------------
+# Reports: reproducibility and serialisation.
+# ----------------------------------------------------------------------
+
+
+def corrupted_session(seed: int) -> RecoveryReport:
+    program, expected = build_checked()
+    soc = Soc()
+    soc.load(program)
+    injector = SoftErrorInjector(seed=seed)
+    soc.fault_hooks.append(ExecutionEntryCorruption(0, injector))
+    supervisor = Supervisor(soc, max_retries=2, injector=injector)
+    return supervisor.run_session([spec_for("ld_chain", CTX0, 0x1000, expected)])
+
+
+def test_recovery_report_is_reproducible_from_the_seed():
+    first = corrupted_session(99).to_dict()
+    second = corrupted_session(99).to_dict()
+    assert first == second
+    assert first["injections"]  # the flip is part of the record
+
+
+def test_recovery_report_json_round_trip(tmp_path):
+    report = corrupted_session(99)
+    path = tmp_path / "report.json"
+    report.save(path)
+    loaded = RecoveryReport.load(path)
+    assert loaded.to_dict() == report.to_dict()
+    assert loaded.recovered_names == ["ld_chain"]
