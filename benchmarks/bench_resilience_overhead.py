@@ -94,20 +94,44 @@ def test_resilience_overhead(emit):
     )
 
     # Glitched interconnect at field-plausible rates (architecturally
-    # invisible: the verdict stays PASS throughout).
+    # invisible: the verdict stays PASS throughout).  The whole sweep
+    # reuses ONE SoC — the wrapper re-warms the caches from scratch on
+    # every entry, so interval measurements come from BusStats/CacheStats
+    # snapshot/delta rather than a fresh machine per rate.
+    soc = fresh(fwd_program)
+    core = soc.cores[0]
+
+    def rerun(glitcher) -> int:
+        soc.bus.glitcher = glitcher
+        core.dtcm.write_word(CTX.mailbox_address, 0)
+        start = soc.cycle
+        core.hard_reset(ENTRY)
+        soc.run(max_cycles=4_000_000)
+        return soc.cycle - start
+
+    rerun(None)  # warm-up: flash buffer state settles before measuring
+    warm_before = core.icache.stats.snapshot()
+    warm_baseline = rerun(None)
+    warm_fills = core.icache.stats.delta(warm_before).fills
+    row("fwd: warm re-run (reused SoC)", warm_baseline, warm_baseline, "PASS")
     for delay_rate, error_rate in ((0.01, 0.0), (0.1, 0.0), (0.0, 0.01), (0.1, 0.01)):
-        soc = fresh(
-            fwd_program,
-            BusGlitcher(seed=SEED, delay_rate=delay_rate, error_rate=error_rate),
-        )
-        soc.start_core(0, ENTRY)
-        cycles = soc.run(max_cycles=4_000_000)
-        verdict = soc.cores[0].dtcm.read_word(CTX.mailbox_address)
+        glitcher = BusGlitcher(seed=SEED, delay_rate=delay_rate, error_rate=error_rate)
+        bus_before = soc.bus.stats[0].snapshot()
+        icache_before = core.icache.stats.snapshot()
+        cycles = rerun(glitcher)
+        verdict = core.dtcm.read_word(CTX.mailbox_address)
         assert verdict == RESULT_PASS
+        bus_interval = soc.bus.stats[0].delta(bus_before)
+        # The bus-side interval counters agree with the glitcher's own.
+        assert bus_interval.glitch_delay_cycles == glitcher.stats.delay_cycles
+        assert bus_interval.error_responses == glitcher.stats.errors_injected
+        # Glitches delay the warm-up traffic but never change it: every
+        # re-entry fills exactly the same lines.
+        assert core.icache.stats.delta(icache_before).fills == warm_fills
         row(
             f"fwd: bus glitches d={delay_rate:.0%} e={error_rate:.0%}",
             cycles,
-            fwd_baseline,
+            warm_baseline,
             "PASS",
         )
 

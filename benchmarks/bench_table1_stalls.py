@@ -25,3 +25,8 @@ def test_table1_stalls(benchmark, emit):
     assert rows[3].total_mem_stalls > rows[1].total_mem_stalls
     for row in result.rows:
         assert row.total_if_stalls > row.total_mem_stalls
+    # The stalls are bus contention: time queued on the shared bus (the
+    # bus-side view now carried by the stall reports) grows super-linearly
+    # with the active-core count as well.
+    assert rows[2].total_bus_wait_cycles > 2 * rows[1].total_bus_wait_cycles
+    assert rows[3].total_bus_wait_cycles > 1.5 * rows[2].total_bus_wait_cycles

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Post-mortem of a non-deterministic self-test, using the telemetry layer.
+
+A test engineer's debugging session in two acts:
+
+1. **The broken build.**  Core 0 runs its routine *without* the loading
+   loop (the ablation `CacheWrapperOptions(loading_loop=False)`): it
+   enters the test window with cold caches while core 1, properly
+   wrapped, hammers the shared bus next to it.  The determinism auditor
+   flags every bus transaction core 0 initiated inside its window —
+   with the cycle, transaction kind and address of each offence — and
+   the phase-split metrics show the smoking gun: cache fills *inside*
+   the execution phase.
+
+2. **The fix.**  The same two routines, both cache-wrapped.  Every fill
+   moves into the loading phase, the execution phase runs bus-silent,
+   and the auditor passes.
+
+Run it:  PYTHONPATH=src python examples/contention_postmortem.py
+"""
+
+from repro import (
+    CORE_MODEL_A,
+    CORE_MODEL_B,
+    RoutineContext,
+    Soc,
+    cache_wrapped_builder,
+    finalise_with_expected,
+    make_forwarding_routine,
+    placement_address,
+)
+from repro.core.cache_wrapper import CacheWrapperOptions
+from repro.soc import CodeAlignment, CodePosition
+from repro.telemetry import PHASE_EXECUTION, TelemetrySession
+
+MODELS = {0: CORE_MODEL_A, 1: CORE_MODEL_B}
+
+
+def build_program(core_id, options=CacheWrapperOptions()):
+    """One core's routine, wrapped with ``options``, golden-finalised."""
+    model = MODELS[core_id]
+    routine = make_forwarding_routine(model, with_pcs=False)
+    ctx = RoutineContext.for_core(core_id, model)
+    base = placement_address(CodePosition.LOW, CodeAlignment.QWORD, core_id)
+
+    def build(expected):
+        return cache_wrapped_builder(routine, ctx, expected, options)(base)
+
+    program, _ = finalise_with_expected(build, core_id)
+    return program
+
+
+def run_pair(core0_options) -> TelemetrySession:
+    """Run core 0 (with ``core0_options``) next to a wrapped core 1."""
+    soc = Soc()
+    entries = {}
+    for core_id in MODELS:
+        options = core0_options if core_id == 0 else CacheWrapperOptions()
+        program = build_program(core_id, options)
+        soc.load(program)
+        entries[core_id] = program.base_address
+    session = TelemetrySession.attach(soc)
+    for core_id, entry in sorted(entries.items()):
+        soc.start_core(core_id, entry)
+    soc.run()
+    return session
+
+
+def execution_phase_fills(session: TelemetrySession, core_id: int) -> int:
+    view = session.metrics.snapshot()
+    return sum(
+        view.get(core_id, PHASE_EXECUTION, f"{cache}.fills")
+        for cache in view.cache_names()
+    )
+
+
+def main() -> None:
+    print("=" * 72)
+    print("Act 1: core 0 skips the loading loop (cold caches in the window)")
+    print("=" * 72)
+    broken = run_pair(CacheWrapperOptions(loading_loop=False))
+    print(broken.auditor.render(max_lines=6))
+    fills = execution_phase_fills(broken, 0)
+    print(f"\ncore 0 cache fills during its execution phase: {fills}")
+    assert not broken.auditor.passed, "the ablation should fail the audit"
+    assert fills > 0, "cold caches must fill inside the window"
+
+    print()
+    print("=" * 72)
+    print("Act 2: the same pair, core 0 properly cache-wrapped")
+    print("=" * 72)
+    fixed = run_pair(CacheWrapperOptions())
+    print(fixed.auditor.render())
+    fills = execution_phase_fills(fixed, 0)
+    print(f"\ncore 0 cache fills during its execution phase: {fills}")
+    assert fixed.auditor.passed, "the wrapped pair must audit clean"
+    assert fills == 0, "a warm window never fills"
+
+    fixed.export_chrome_trace("trace_postmortem.json")
+    print(
+        "\nwrote trace_postmortem.json - open ui.perfetto.dev and drop it "
+        "in to see the loading/execution windows per core."
+    )
+
+
+if __name__ == "__main__":
+    main()

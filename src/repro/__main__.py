@@ -30,7 +30,94 @@ EXPERIMENTS = {
 }
 
 
+def _run_trace(argv: list[str]) -> int:
+    """``python -m repro trace <scenario>`` — run a canned scenario with
+    telemetry attached and export the Chrome trace + metrics report.
+
+    Lives outside ``EXPERIMENTS`` on purpose: those regenerate paper
+    tables/figures, while ``trace`` produces artifacts (a
+    Perfetto-loadable trace, a phase-split metrics JSON) and an audit
+    verdict for one scenario run.
+    """
+    # Function-level import: the telemetry scenarios build SoCs and
+    # programs, none of which the table/figure experiments need.
+    from repro.telemetry.scenarios import TRACE_SCENARIOS, run_trace_scenario
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro trace",
+        description=(
+            "Run one canned telemetry scenario, print its phase-split "
+            "metrics and determinism-audit verdict, and export a Chrome "
+            "trace-event JSON loadable in Perfetto (ui.perfetto.dev)."
+        ),
+    )
+    parser.add_argument(
+        "scenario",
+        choices=sorted(TRACE_SCENARIOS),
+        help="; ".join(
+            f"{name}: {desc}" for name, (desc, _) in sorted(TRACE_SCENARIOS.items())
+        ),
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        help="Chrome trace-event JSON path (default: trace_<scenario>.json)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        help="metrics JSON path (default: metrics_<scenario>.json)",
+    )
+    parser.add_argument(
+        "--small",
+        action="store_true",
+        help="tiny routine bodies (fast smoke runs, e.g. in CI)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero unless the audit verdict matches the scenario's",
+    )
+    args = parser.parse_args(argv)
+    start = time.time()
+    run = run_trace_scenario(args.scenario, small=args.small)
+    print(f"== trace scenario: {run.name} ({run.cycles:,} cycles) ==")
+    print(f"   {run.narrative}\n")
+    print(run.session.metrics.render())
+    print()
+    print(run.session.auditor.render())
+    if run.report is not None:
+        report = run.report
+        print()
+        print(
+            f"supervisor: all_passed={report.all_passed} "
+            f"recovered={report.recovered_names} "
+            f"injections={len(report.injections)} "
+            f"audit_attached={report.audit is not None}"
+        )
+    trace_path = args.trace_out or f"trace_{run.name}.json"
+    metrics_path = args.metrics_out or f"metrics_{run.name}.json"
+    events = run.session.export_chrome_trace(trace_path)
+    run.session.metrics.snapshot().save(metrics_path)
+    print(
+        f"\nwrote {trace_path} ({len(events)} trace events; load in "
+        f"ui.perfetto.dev) and {metrics_path} "
+        f"({time.time() - start:.1f}s)"
+    )
+    if args.strict and not run.audit_as_expected:
+        expected = "PASS" if run.expect_audit_pass else "FAIL"
+        print(f"audit verdict does not match the scenario (expected {expected})")
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    # The trace subcommand takes its own flags, so dispatch it before
+    # the experiment parser (whose choices are the paper's tables).
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "trace":
+        return _run_trace(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description=(

@@ -85,12 +85,13 @@ class Table1Result:
                     report.active_cores,
                     f"{report.total_if_stalls:,}",
                     f"{report.total_mem_stalls:,}",
+                    f"{report.total_bus_wait_cycles:,}",
                     f"{paper[0]:,}" if paper[0] != "-" else "-",
                     f"{paper[1]:,}" if paper[1] != "-" else "-",
                 )
             )
         return format_table(
-            ("# Active Cores", "IF stalls", "MEM stalls",
+            ("# Active Cores", "IF stalls", "MEM stalls", "bus wait",
              "paper IF", "paper MEM"),
             table_rows,
             title="Table I - multi-core STL execution: memory-subsystem stalls",
@@ -153,6 +154,7 @@ def _average_reports(samples: list[StallReport]) -> StallReport:
                 if_stalls=sum(c.if_stalls for c in cores) // count,
                 mem_stalls=sum(c.mem_stalls for c in cores) // count,
                 hazard_stalls=sum(c.hazard_stalls for c in cores) // count,
+                bus_wait_cycles=sum(c.bus_wait_cycles for c in cores) // count,
             )
         )
     return StallReport(

@@ -110,14 +110,27 @@ def build_cache_wrapped(
     asm.align()
     # Blocks c/d: the unmodified single-core test program body.
     routine.emit_body(asm, ctx.with_testwin_reg(WRAP_ITER))
+    # Close the observation window at the end of the body, *inside* the
+    # loop: this code executes during the loading loop too, so its cache
+    # line is warm when the execution loop reaches it.  Closing after
+    # the loop instead would put the window-clearing instruction on a
+    # line the loading loop never committed (its speculative fill is
+    # discarded by the loop-back redirect), and fetching it would be a
+    # bus transaction inside the still-open window.
+    asm.li(WRAP_TMP, 0)
+    asm.csrw(Csr.TESTWIN, WRAP_TMP)
+    # Fetch-skid guard band: the front end runs up to a full issue queue
+    # (8 words) ahead of the issue stage, so without padding it would
+    # cross into the cold post-loop line — and miss onto the bus — a
+    # cycle before the closing CSR write issues.  Eight warm NOPs (plus
+    # the loop tail) keep the first cold fetch strictly after the close.
+    asm.nop(8)
     asm.align()
     asm.addi(WRAP_ITER, WRAP_ITER, 1)
     asm.li(WRAP_TMP, 2)
     asm.branch_far(Mnemonic.BNE, WRAP_ITER, WRAP_TMP, "wrapper_loop")
     # Block e: signature check (only the execution loop's signature
     # survives, since each iteration re-seeded SIG_REG).
-    asm.li(WRAP_TMP, 0)
-    asm.csrw(Csr.TESTWIN, WRAP_TMP)
     emit_epilogue(asm, ctx, expected_signature)
     asm.halt()
     return asm.build()

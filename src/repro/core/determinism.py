@@ -98,6 +98,8 @@ class ScenarioResult:
     scenario: Scenario
     total_cycles: int
     per_core: dict[int, CoreRunResult] = field(default_factory=dict)
+    #: Determinism-audit verdict (``run_scenario(..., audit=True)``).
+    audit: dict | None = None
 
 
 def run_scenario(
@@ -106,14 +108,24 @@ def run_scenario(
     soc_config: SocConfig = DEFAULT_SOC_CONFIG,
     pcs_observable: bool = False,
     max_cycles: int = DEFAULT_MAX_CYCLES,
+    audit: bool = False,
 ) -> ScenarioResult:
     """Run one scenario: each active core executes its own program copy.
 
     ``builders`` maps core id to a relocatable program builder; inactive
     cores stay switched off ("with the other cores completely turned
-    off", Section IV-B).
+    off", Section IV-B).  ``audit=True`` attaches a telemetry session in
+    metrics-only mode and reports the determinism auditor's verdict in
+    ``ScenarioResult.audit``.
     """
     soc = Soc(soc_config)
+    session = None
+    if audit:
+        # Function-level import: repro.telemetry.session must stay
+        # importable from the models this module builds on.
+        from repro.telemetry.session import TelemetrySession
+
+        session = TelemetrySession.attach(soc, keep_events=False)
     entry_points: dict[int, int] = {}
     for core_id in scenario.active_cores:
         builder = builders[core_id]
@@ -131,6 +143,9 @@ def run_scenario(
         soc.start_core(core_id, entry)
     total = soc.run(max_cycles=max_cycles)
     result = ScenarioResult(scenario=scenario, total_cycles=total)
+    if session is not None:
+        result.audit = session.audit_summary()
+        session.detach()
     for core_id in scenario.active_cores:
         core = soc.cores[core_id]
         result.per_core[core_id] = CoreRunResult(

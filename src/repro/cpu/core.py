@@ -52,6 +52,7 @@ from repro.mem.bus import SystemBus
 from repro.mem.cache import Cache, CacheConfig
 from repro.mem.memmap import MemoryMap, dtcm_base, itcm_base
 from repro.mem.tcm import Tcm
+from repro.telemetry.events import NULL_SINK, EventKind
 from repro.utils.bitops import MASK32
 
 
@@ -131,6 +132,8 @@ class Core:
         self._seq = 0
         self.halted = False
         self.started = False
+        #: Telemetry sink (no-op unless a TelemetrySession is attached).
+        self.telemetry = NULL_SINK
 
     # ------------------------------------------------------------------
     # Control.
@@ -141,6 +144,14 @@ class Core:
         self.fetch.reset(pc)
         self.halted = False
         self.started = True
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.emit(
+                EventKind.CORE_START,
+                core=self.core_id,
+                pc=pc,
+                testwin=self.testwin,
+            )
 
     def hard_reset(self, pc: int) -> None:
         """Forcibly restart at ``pc``, abandoning all in-flight work.
@@ -155,7 +166,7 @@ class Core:
         self.memwb_latch = []
         self.retire_latch = []
         self.memunit.cancel()
-        self.testwin = 0
+        self._set_testwin(0)
         self.reset(pc)
 
     @property
@@ -367,6 +378,9 @@ class Core:
             self._csr_write(instr.csr, v1)
         elif instr.mnemonic is Mnemonic.HALT:
             self.halted = True
+            telemetry = self.telemetry
+            if telemetry.enabled:
+                telemetry.emit(EventKind.CORE_HALT, core=self.core_id, pc=pc)
         elif instr.mnemonic is Mnemonic.ICINV:
             self.icache.invalidate_all()
         elif instr.mnemonic is Mnemonic.DCINV:
@@ -573,6 +587,19 @@ class Core:
         elif csr is Csr.ICU_ACK:
             self.icu.acknowledge()
         elif csr is Csr.TESTWIN:
-            self.testwin = value & 3
+            self._set_testwin(value & 3)
         # Other CSRs are read-only; writes are ignored like real status
         # registers.
+
+    def _set_testwin(self, value: int) -> None:
+        prev = self.testwin
+        self.testwin = value
+        if value != prev:
+            telemetry = self.telemetry
+            if telemetry.enabled:
+                telemetry.emit(
+                    EventKind.CORE_TESTWIN,
+                    core=self.core_id,
+                    value=value,
+                    prev=prev,
+                )

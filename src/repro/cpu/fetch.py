@@ -31,6 +31,7 @@ from repro.mem.bus import SystemBus, Transaction, TxnKind
 from repro.mem.cache import Cache
 from repro.mem.memmap import MemoryMap, is_cacheable
 from repro.mem.tcm import Tcm
+from repro.telemetry.events import NULL_SINK, EventKind
 
 
 @lru_cache(maxsize=65536)
@@ -68,6 +69,8 @@ class FetchUnit:
         #: In-flight fetch transactions, oldest first.  Entries are
         #: (txn, pc, is_fill, discard).
         self._inflight: deque[list] = deque()
+        #: Telemetry sink (no-op unless a TelemetrySession is attached).
+        self.telemetry = NULL_SINK
 
     # ------------------------------------------------------------------
     # Control.
@@ -131,6 +134,15 @@ class FetchUnit:
                         retries=txn.retries,
                     )
                 retry = self.bus.submit(txn.retry_clone(), cycle)
+                telemetry = self.telemetry
+                if telemetry.enabled:
+                    telemetry.emit(
+                        EventKind.BUS_RETRY,
+                        core=self.core_id,
+                        kind=txn.kind.value,
+                        address=txn.address,
+                        attempt=retry.retries,
+                    )
                 self._inflight.appendleft([retry, pc, is_fill, False])
                 return
             if is_fill:

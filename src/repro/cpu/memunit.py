@@ -21,6 +21,7 @@ from repro.mem.bus import SystemBus, Transaction, TxnKind
 from repro.mem.cache import Cache, FillPlan
 from repro.mem.memmap import MemoryMap, is_cacheable
 from repro.mem.tcm import Tcm
+from repro.telemetry.events import NULL_SINK, EventKind
 
 
 class MemoryUnit:
@@ -50,6 +51,8 @@ class MemoryUnit:
         self._txn: Transaction | None = None
         self._plan: FillPlan | None = None
         self._ready_cycle = 0
+        #: Telemetry sink (no-op unless a TelemetrySession is attached).
+        self.telemetry = NULL_SINK
 
     @property
     def busy(self) -> bool:
@@ -135,6 +138,14 @@ class MemoryUnit:
             return
         if uop.is_store and not self.dcache.write_allocate:
             self.dcache.stats.write_miss_bypasses += 1
+            telemetry = self.telemetry
+            if telemetry.enabled:
+                telemetry.emit(
+                    EventKind.CACHE_WRITE_MISS_BYPASS,
+                    core=self.core_id,
+                    cache=self.dcache.config.name,
+                    address=address,
+                )
             self._begin_uncached(uop, cycle, count_access=False)
             return
         self._plan = self.dcache.prepare_fill(address)
@@ -223,6 +234,15 @@ class MemoryUnit:
                     retries=txn.retries,
                 )
             self._txn = self.bus.submit(txn.retry_clone(), cycle)
+            telemetry = self.telemetry
+            if telemetry.enabled:
+                telemetry.emit(
+                    EventKind.BUS_RETRY,
+                    core=self.core_id,
+                    kind=txn.kind.value,
+                    address=txn.address,
+                    attempt=self._txn.retries,
+                )
             return False
         if self._phase == "writeback":
             self._txn = None

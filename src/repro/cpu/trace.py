@@ -50,8 +50,15 @@ def render_pipeline_diagram(uops: list[Uop], label_width: int = 24) -> str:
     if not uops:
         return "(empty trace)"
     rows = trace_rows(uops)
+
+    def effective_wb(row: TraceRow) -> int:
+        # A uop cut off before write-back records wb_cycle = -1; render
+        # it with the nominal issue+2 schedule (matching the stage
+        # placement below) instead of letting -1 shrink the grid.
+        return row.wb_cycle if row.wb_cycle >= 0 else row.issue_cycle + 2
+
     first = min(row.issue_cycle for row in rows)
-    last = max(max(row.wb_cycle, row.issue_cycle) for row in rows) + 1
+    last = max(effective_wb(row) for row in rows) + 1
     span = last - first + 1
     lines = []
     header = " " * label_width + "  " + "".join(
@@ -60,7 +67,7 @@ def render_pipeline_diagram(uops: list[Uop], label_width: int = 24) -> str:
     lines.append(header)
     for row in rows:
         cells = ["  ."] * span
-        wb = row.wb_cycle if row.wb_cycle >= 0 else row.issue_cycle + 2
+        wb = effective_wb(row)
         stages = [
             (row.issue_cycle, "D"),
             (row.issue_cycle + 1, "E"),

@@ -212,6 +212,8 @@ class ScenarioOutcome:
     coverages: list[dict] = field(default_factory=list)
     error: str | None = None
     attempts: int = 1
+    #: Determinism-audit verdict of the graded run (``audit=True``).
+    audit: dict | None = None
 
     @property
     def failed(self) -> bool:
@@ -226,6 +228,7 @@ class ScenarioOutcome:
             "coverages": self.coverages,
             "error": self.error,
             "attempts": self.attempts,
+            "audit": self.audit,
         }
 
     @classmethod
@@ -235,6 +238,7 @@ class ScenarioOutcome:
             coverages=list(data["coverages"]),
             error=data["error"],
             attempts=data["attempts"],
+            audit=data.get("audit"),
         )
 
 
@@ -301,6 +305,7 @@ def run_checkpointed_campaign(
     max_cycles: int = 4_000_000,
     retries: int = 1,
     on_scenario=None,
+    audit: bool = False,
 ) -> dict[str, ScenarioOutcome]:
     """Run a coverage campaign with supervision and JSON checkpointing.
 
@@ -318,6 +323,8 @@ def run_checkpointed_campaign(
 
     ``on_scenario(outcome)``, when given, is called after each scenario
     is checkpointed — the test hook used to simulate mid-run kills.
+    ``audit=True`` runs every scenario under the determinism auditor and
+    records its verdict in each :class:`ScenarioOutcome`.
     """
     # Imported here: repro.core builds on repro.faults results in the
     # analysis layer, so the module-level direction stays faults <- core.
@@ -337,12 +344,14 @@ def run_checkpointed_campaign(
             outcome.attempts = attempt + 1
             try:
                 result = run_scenario(
-                    builders, scenario, config, max_cycles=max_cycles
+                    builders, scenario, config, max_cycles=max_cycles,
+                    audit=audit,
                 )
             except ReproError as exc:
                 outcome.error = f"{type(exc).__name__}: {exc}"
                 continue
             outcome.error = None
+            outcome.audit = result.audit
             outcome.coverages = [
                 {
                     "core_id": core_id,

@@ -27,6 +27,7 @@ from repro.errors import FaultModelError
 from repro.mem.bus import Transaction, TxnKind
 from repro.mem.cache import Cache
 from repro.mem.device import MemoryDevice
+from repro.telemetry.events import NULL_SINK, EventKind
 from repro.utils.rng import DeterministicRng
 
 
@@ -70,9 +71,22 @@ class SoftErrorInjector:
         self.seed = seed
         self.rng = DeterministicRng(seed)
         self.log: list[InjectionRecord] = []
+        #: Telemetry sink (wired by TelemetrySession.attach_injector).
+        self.telemetry = NULL_SINK
 
     def _record(self, record: InjectionRecord) -> InjectionRecord:
         self.log.append(record)
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.emit(
+                EventKind.FAULT_INJECTION,
+                core=record.core_id,
+                kind=record.kind,
+                target=record.target,
+                address=record.address,
+                bit=record.bit,
+                word=record.word_index,
+            )
         return record
 
     def flip_memory_bit(

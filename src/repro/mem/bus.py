@@ -8,10 +8,11 @@ Per-core wait-cycle statistics feed the Table I stall measurements.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields, replace
 
 from repro.errors import MemoryError_
 from repro.mem.memmap import MemoryMap
+from repro.telemetry.events import NULL_SINK, EventKind
 
 
 class TxnKind(enum.Enum):
@@ -72,6 +73,19 @@ class BusStats:
     glitch_delay_cycles: int = 0
     error_responses: int = 0
 
+    def snapshot(self) -> "BusStats":
+        """An independent copy of the counters as they stand now."""
+        return replace(self)
+
+    def delta(self, since: "BusStats") -> "BusStats":
+        """Counters accumulated strictly after ``since`` was taken."""
+        return BusStats(
+            **{
+                f.name: getattr(self, f.name) - getattr(since, f.name)
+                for f in fields(self)
+            }
+        )
+
 
 class SystemBus:
     """Single-master-at-a-time shared bus with round-robin core priority.
@@ -95,6 +109,8 @@ class SystemBus:
         #: ``grant_delay(txn, cycle) -> int`` and
         #: ``error_response(txn, cycle) -> bool``.
         self.glitcher = None
+        #: Telemetry sink (no-op unless a TelemetrySession is attached).
+        self.telemetry = NULL_SINK
 
     def submit(self, txn: Transaction, cycle: int) -> Transaction:
         """Queue a transaction; it completes when ``txn.done`` turns True."""
@@ -102,6 +118,17 @@ class SystemBus:
             raise MemoryError_(f"unknown bus master {txn.core_id}")
         txn.submit_cycle = cycle
         self._queue.append(txn)
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.emit(
+                EventKind.BUS_SUBMIT,
+                core=txn.core_id,
+                kind=txn.kind.value,
+                address=txn.address,
+                burst=txn.burst_words,
+                write=txn.is_write,
+                retries=txn.retries,
+            )
         return txn
 
     @property
@@ -147,6 +174,7 @@ class SystemBus:
         latency = device.access_cycles(
             chosen.address, chosen.is_write, chosen.burst_words
         )
+        delay = 0
         if self.glitcher is not None:
             delay = self.glitcher.grant_delay(chosen, cycle)
             if delay:
@@ -158,6 +186,16 @@ class SystemBus:
         self._rr_next = (chosen.core_id + 1) % self.num_cores
         self.total_grants += 1
         self.stats[chosen.core_id].transactions += 1
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.emit(
+                EventKind.BUS_GRANT,
+                core=chosen.core_id,
+                kind=chosen.kind.value,
+                address=chosen.address,
+                wait=cycle - chosen.submit_cycle,
+                glitch=delay,
+            )
 
     def _finish(self, txn: Transaction) -> None:
         if self.glitcher is not None and self.glitcher.error_response(
@@ -168,14 +206,22 @@ class SystemBus:
             self.stats[txn.core_id].error_responses += 1
             txn.error = True
             txn.done = True
+            telemetry = self.telemetry
+            if telemetry.enabled:
+                telemetry.emit(
+                    EventKind.BUS_ERROR,
+                    core=txn.core_id,
+                    kind=txn.kind.value,
+                    address=txn.address,
+                    grant=txn.grant_cycle,
+                    retries=txn.retries,
+                )
             return
         device = self.memmap.route(txn.address)
         if txn.atomic_set:
             txn.data = [device.read_word(txn.address)]
             device.write_word(txn.address, 1)
-            txn.done = True
-            return
-        if txn.is_write:
+        elif txn.is_write:
             if txn.byte_write:
                 device.write_byte(txn.address, txn.write_values[0])
             else:
@@ -184,3 +230,16 @@ class SystemBus:
         else:
             txn.data = device.read_burst(txn.address, txn.burst_words)
         txn.done = True
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.emit(
+                EventKind.BUS_COMPLETE,
+                core=txn.core_id,
+                kind=txn.kind.value,
+                address=txn.address,
+                burst=txn.burst_words,
+                write=txn.is_write,
+                submit=txn.submit_cycle,
+                grant=txn.grant_cycle,
+                busy=txn.complete_cycle - txn.grant_cycle,
+            )

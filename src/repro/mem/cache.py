@@ -17,9 +17,10 @@ and their verdict lives in registers, matching the paper's usage.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields, replace
 
 from repro.errors import MemoryError_
+from repro.telemetry.events import NULL_SINK, EventKind
 from repro.utils.bitops import align_down
 
 
@@ -77,6 +78,19 @@ class CacheStats:
     def accesses(self) -> int:
         return self.hits + self.misses
 
+    def snapshot(self) -> "CacheStats":
+        """An independent copy of the counters as they stand now."""
+        return replace(self)
+
+    def delta(self, since: "CacheStats") -> "CacheStats":
+        """Counters accumulated strictly after ``since`` was taken."""
+        return CacheStats(
+            **{
+                f.name: getattr(self, f.name) - getattr(since, f.name)
+                for f in fields(self)
+            }
+        )
+
 
 @dataclass
 class FillPlan:
@@ -100,6 +114,10 @@ class Cache:
         ]
         self._lru = [list(range(config.ways)) for _ in range(config.num_sets)]
         self.stats = CacheStats()
+        #: Telemetry sink (no-op unless a TelemetrySession is attached)
+        #: and the core id events are attributed to while attached.
+        self.telemetry = NULL_SINK
+        self.telemetry_core: int | None = None
 
     # ------------------------------------------------------------------
     # Address decomposition.
@@ -138,6 +156,14 @@ class Cache:
             self.stats.hits += 1
         else:
             self.stats.misses += 1
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.emit(
+                EventKind.CACHE_HIT if hit else EventKind.CACHE_MISS,
+                core=self.telemetry_core,
+                cache=self.config.name,
+                address=address,
+            )
         return hit
 
     def read(self, address: int, width: int = 4) -> int:
@@ -203,6 +229,14 @@ class Cache:
             plan.writeback_address = victim_base
             plan.writeback_words = list(victim.words)
             self.stats.writebacks += 1
+            telemetry = self.telemetry
+            if telemetry.enabled:
+                telemetry.emit(
+                    EventKind.CACHE_WRITEBACK,
+                    core=self.telemetry_core,
+                    cache=self.config.name,
+                    address=victim_base,
+                )
         return plan
 
     def install(self, line_address: int, words: list[int]) -> None:
@@ -221,6 +255,14 @@ class Cache:
         line.words = [w & 0xFFFF_FFFF for w in words]
         self._touch(set_index, victim_way)
         self.stats.fills += 1
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.emit(
+                EventKind.CACHE_FILL,
+                core=self.telemetry_core,
+                cache=self.config.name,
+                address=line_address,
+            )
 
     def invalidate_all(self) -> None:
         """Drop every line (dirty contents are discarded, not written back)."""
@@ -229,6 +271,13 @@ class Cache:
                 line.valid = False
                 line.dirty = False
         self.stats.invalidations += 1
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.emit(
+                EventKind.CACHE_INVALIDATE,
+                core=self.telemetry_core,
+                cache=self.config.name,
+            )
 
     # ------------------------------------------------------------------
     # Soft-error injection (see repro.faults.soft_errors).
@@ -273,6 +322,16 @@ class Cache:
         line = self._sets[set_index][way]
         line.words[word_index] ^= 1 << bit
         self.stats.soft_error_flips += 1
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.emit(
+                EventKind.CACHE_SOFT_ERROR_FLIP,
+                core=self.telemetry_core,
+                cache=self.config.name,
+                address=line_address,
+                word=word_index,
+                bit=bit,
+            )
         return line.words[word_index]
 
     # ------------------------------------------------------------------

@@ -10,6 +10,7 @@ from repro.mem.flash import Flash
 from repro.mem.memmap import MemoryMap
 from repro.mem.sram import Sram
 from repro.soc.config import DEFAULT_SOC_CONFIG, SocConfig
+from repro.telemetry.events import NULL_SINK
 
 
 class Soc:
@@ -45,6 +46,10 @@ class Soc:
             for core_id, model in enumerate(config.core_models)
         ]
         self.cycle = 0
+        #: Telemetry sink (no-op unless a TelemetrySession is attached).
+        #: Components emit through their own ``telemetry`` attributes;
+        #: this one serves SoC-level users (e.g. the supervisor).
+        self.telemetry = NULL_SINK
         #: Disturbance hooks called once per clock with the SoC (see
         #: :mod:`repro.faults.soft_errors`); a hook that returns True is
         #: spent and removed.

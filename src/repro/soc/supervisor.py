@@ -24,6 +24,7 @@ from pathlib import Path
 
 from repro.errors import BusError, ExecutionLimitExceeded, ReproError
 from repro.stl.conventions import RESULT_FAIL, RESULT_PASS, SIG_REG
+from repro.telemetry.events import EventKind
 
 #: Attempt outcome labels.
 PASS = "pass"
@@ -127,6 +128,10 @@ class RecoveryReport:
 
     routines: list[RoutineReport] = field(default_factory=list)
     injections: list[dict] = field(default_factory=list)
+    #: Determinism-audit verdict for the session (see
+    #: :class:`repro.telemetry.audit.DeterminismAuditor`), when a
+    #: supervisor was given an auditor to report from.
+    audit: dict | None = None
 
     @property
     def all_passed(self) -> bool:
@@ -154,6 +159,7 @@ class RecoveryReport:
         return {
             "routines": [r.to_dict() for r in self.routines],
             "injections": list(self.injections),
+            "audit": self.audit,
         }
 
     @classmethod
@@ -161,6 +167,7 @@ class RecoveryReport:
         return cls(
             routines=[RoutineReport.from_dict(r) for r in data["routines"]],
             injections=list(data.get("injections", [])),
+            audit=data.get("audit"),
         )
 
     def save(self, path: str | Path) -> None:
@@ -183,11 +190,15 @@ class TestSupervisor:
     extended to transients).
     """
 
-    def __init__(self, soc, max_retries: int = 2, injector=None):
+    def __init__(self, soc, max_retries: int = 2, injector=None, auditor=None):
         self.soc = soc
         self.max_retries = max_retries
         #: Optional SoftErrorInjector whose log is folded into the report.
         self.injector = injector
+        #: Optional DeterminismAuditor whose verdict is attached to the
+        #: session's RecoveryReport (usually the one a TelemetrySession
+        #: stood up).
+        self.auditor = auditor
 
     # ------------------------------------------------------------------
     # One attempt.
@@ -268,7 +279,17 @@ class TestSupervisor:
     def run_routine(self, spec: RoutineSpec) -> RoutineReport:
         """Run one routine with watchdog, bounded retry and quarantine."""
         report = RoutineReport(name=spec.name, core_id=spec.core_id)
+        telemetry = self.soc.telemetry
         for attempt_index in range(1 + self.max_retries):
+            if telemetry.enabled:
+                telemetry.emit(
+                    EventKind.SUPERVISOR_RETRY
+                    if attempt_index
+                    else EventKind.SUPERVISOR_ATTEMPT,
+                    core=spec.core_id,
+                    routine=spec.name,
+                    attempt=attempt_index + 1,
+                )
             record = self._attempt(spec)
             record = AttemptRecord(
                 attempt=attempt_index + 1,
@@ -281,6 +302,13 @@ class TestSupervisor:
             if record.passed:
                 return report
         report.quarantined = True
+        if telemetry.enabled:
+            telemetry.emit(
+                EventKind.SUPERVISOR_QUARANTINE,
+                core=spec.core_id,
+                routine=spec.name,
+                attempts=len(report.attempts),
+            )
         self._silence_core(spec)
         return report
 
@@ -313,4 +341,6 @@ class TestSupervisor:
             report.routines.append(self.run_routine(spec))
         if self.injector is not None:
             report.injections = self.injector.log_dicts()
+        if self.auditor is not None:
+            report.audit = self.auditor.summary()
         return report

@@ -1,0 +1,70 @@
+"""Unified telemetry: cycle-stamped events, phase-aware metrics, audit.
+
+Public surface:
+
+* :class:`EventKind` / :class:`TelemetryEvent` — the typed event stream;
+* :data:`NULL_SINK` / :class:`RecordingSink` — disabled and enabled sinks;
+* :class:`MetricsCollector` / :class:`MetricsView` — per-core, per-STL-phase
+  counters with snapshot/delta;
+* :class:`DeterminismAuditor` — run-time proof of the execution-window
+  bus-silence invariant;
+* :func:`export_chrome_trace` / :func:`validate_trace_events` — Perfetto
+  trace export;
+* :class:`TelemetrySession` — one-call attachment to a live SoC.
+
+``repro.telemetry.scenarios`` (the canned ``python -m repro trace``
+scenarios) is intentionally not imported here: it builds programs and
+SoCs, and this package must stay importable from inside the memory and
+CPU models without cycles.
+"""
+
+from repro.telemetry.audit import AuditViolation, DeterminismAuditor
+from repro.telemetry.chrome_trace import (
+    chrome_trace_events,
+    export_chrome_trace,
+    validate_trace_events,
+)
+from repro.telemetry.events import (
+    NULL_SINK,
+    EventKind,
+    NullSink,
+    RecordingSink,
+    TelemetryEvent,
+)
+from repro.telemetry.metrics import (
+    BUS_METRICS,
+    CACHE_METRICS,
+    MetricsCollector,
+    MetricsView,
+)
+from repro.telemetry.phases import (
+    PHASE_EXECUTION,
+    PHASE_IDLE,
+    PHASE_LOADING,
+    PHASES,
+    PhaseTracker,
+)
+from repro.telemetry.session import TelemetrySession
+
+__all__ = [
+    "AuditViolation",
+    "DeterminismAuditor",
+    "chrome_trace_events",
+    "export_chrome_trace",
+    "validate_trace_events",
+    "NULL_SINK",
+    "EventKind",
+    "NullSink",
+    "RecordingSink",
+    "TelemetryEvent",
+    "BUS_METRICS",
+    "CACHE_METRICS",
+    "MetricsCollector",
+    "MetricsView",
+    "PHASE_EXECUTION",
+    "PHASE_IDLE",
+    "PHASE_LOADING",
+    "PHASES",
+    "PhaseTracker",
+    "TelemetrySession",
+]

@@ -1,0 +1,101 @@
+"""The ``python -m repro trace`` subcommand and its canned scenarios."""
+
+import json
+
+import pytest
+
+from repro.__main__ import EXPERIMENTS, main
+from repro.telemetry import validate_trace_events
+from repro.telemetry.scenarios import TRACE_SCENARIOS, run_trace_scenario
+
+
+def test_registry_names_are_stable():
+    assert set(TRACE_SCENARIOS) == {"quickstart", "contention", "recovery"}
+    # The trace subcommand rides outside the experiment registry (the
+    # CLI test asserts that registry exactly), so it must not leak in.
+    assert "trace" not in EXPERIMENTS
+
+
+def test_unknown_scenario_raises_with_choices():
+    with pytest.raises(KeyError, match="quickstart"):
+        run_trace_scenario("nope")
+
+
+def test_quickstart_scenario_audits_clean():
+    run = run_trace_scenario("quickstart", small=True)
+    assert run.expect_audit_pass and run.session.auditor.passed
+    assert run.audit_as_expected
+    assert sorted(run.session.auditor.windows_opened) == [0, 1, 2]
+    assert run.cycles > 0
+
+
+def test_contention_scenario_fails_audit_on_purpose():
+    run = run_trace_scenario("contention", small=True)
+    auditor = run.session.auditor
+    assert not run.expect_audit_pass and not auditor.passed
+    assert run.audit_as_expected
+    # Only the unwrapped core violates; the wrapped neighbour stays clean.
+    assert {v.core for v in auditor.violations} == {0}
+    assert auditor.windows_opened[1] == 1
+
+
+def test_recovery_scenario_recovers_with_audit_attached():
+    run = run_trace_scenario("recovery", small=True)
+    report = run.report
+    assert report is not None and report.all_passed
+    assert report.recovered_names == ["tiny_ld"]
+    assert len(report.injections) == 1
+    assert report.audit is not None and report.audit["passed"] is True
+    # The retry re-opened the window: both attempts were audited.
+    assert report.audit["windows_opened"] == {"0": 2}
+    # The injected flip is visible in the recorded stream.
+    kinds = {e.kind.value for e in run.session.events}
+    assert "fault.injection" in kinds
+    assert "supervisor.retry" in kinds
+
+
+def test_cli_trace_writes_artifacts(tmp_path, capsys):
+    trace_path = tmp_path / "trace.json"
+    metrics_path = tmp_path / "metrics.json"
+    rc = main(
+        [
+            "trace",
+            "quickstart",
+            "--small",
+            "--strict",
+            "--trace-out",
+            str(trace_path),
+            "--metrics-out",
+            str(metrics_path),
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "DeterminismAuditor: PASS" in out
+    assert "Cache activity by core and STL phase" in out
+    trace = json.loads(trace_path.read_text())
+    validate_trace_events(trace)
+    metrics = json.loads(metrics_path.read_text())
+    assert "core0" in metrics and "loading" in metrics["core0"]
+
+
+def test_cli_trace_strict_passes_on_expected_failure(tmp_path):
+    # The contention scenario *expects* a failed audit; --strict agrees.
+    rc = main(
+        [
+            "trace",
+            "contention",
+            "--small",
+            "--strict",
+            "--trace-out",
+            str(tmp_path / "t.json"),
+            "--metrics-out",
+            str(tmp_path / "m.json"),
+        ]
+    )
+    assert rc == 0
+
+
+def test_cli_trace_rejects_unknown_scenario():
+    with pytest.raises(SystemExit):
+        main(["trace", "definitely-not-a-scenario"])
