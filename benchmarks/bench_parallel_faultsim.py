@@ -1,0 +1,102 @@
+"""Wall-clock of the sharded campaign vs its serial path.
+
+Runs the full Section IV-C scenario matrix (18 scenarios, FWD + HDCU +
+ICU fault lists) under 1, 2 and 4 workers and records wall-clock plus
+the speedup ratios in ``BENCH_parallel_faultsim.json``.  The *hard*
+assertion is the engine's contract — every worker count produces
+bit-identical coverage.  Speedup itself is recorded, not asserted: this
+container may expose a single CPU (``cpu_count`` is in the JSON so the
+ratio is interpretable), and on a single core a process pool can only
+break even.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import tempfile
+import time
+
+from repro.core.determinism import default_scenarios
+from repro.faults import run_parallel_checkpointed_campaign
+from repro.faults.workload import DEFAULT_CAMPAIGN_MODELS, standard_provider
+from repro.utils.tables import format_table
+
+MODULES = ("FWD", "HDCU", "ICU")
+WORKER_COUNTS = (1, 2, 4)
+RESULT_PATH = pathlib.Path(__file__).resolve().parent.parent / (
+    "BENCH_parallel_faultsim.json"
+)
+
+
+def outcome_dicts(outcomes):
+    return {label: outcome.to_dict() for label, outcome in outcomes.items()}
+
+
+def test_parallel_faultsim_speedup(emit):
+    scenarios = default_scenarios()
+    runs = []
+    baseline = None
+    for workers in WORKER_COUNTS:
+        with tempfile.TemporaryDirectory() as tmp:
+            start = time.perf_counter()
+            result = run_parallel_checkpointed_campaign(
+                standard_provider(),
+                scenarios,
+                DEFAULT_CAMPAIGN_MODELS,
+                tmp,
+                modules=MODULES,
+                workers=workers,
+            )
+            seconds = time.perf_counter() - start
+        outcomes = outcome_dicts(result.outcomes)
+        if baseline is None:
+            baseline = outcomes
+        # The contract under benchmark: identical coverage, identical
+        # signatures, whatever the pool geometry.
+        assert outcomes == baseline
+        runs.append(
+            {
+                "workers": workers,
+                "shards": result.num_shards,
+                "seconds": round(seconds, 3),
+            }
+        )
+
+    serial_seconds = runs[0]["seconds"]
+    speedups = {
+        run["workers"]: round(serial_seconds / run["seconds"], 3)
+        for run in runs
+    }
+    payload = {
+        "benchmark": "parallel_faultsim",
+        "cpu_count": os.cpu_count(),
+        "scenarios": len(scenarios),
+        "modules": list(MODULES),
+        "runs": runs,
+        "speedup_at_2": speedups.get(2),
+        "speedup_at_4": speedups.get(4),
+        "equivalent": True,
+    }
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    emit(
+        format_table(
+            ("workers", "shards", "seconds", "speedup"),
+            [
+                (
+                    str(run["workers"]),
+                    str(run["shards"]),
+                    f"{run['seconds']:.2f}",
+                    f"{serial_seconds / run['seconds']:.2f}x",
+                )
+                for run in runs
+            ],
+            title=(
+                f"Sharded campaign: {len(scenarios)} scenarios x "
+                f"{len(MODULES)} modules on {os.cpu_count()} CPU(s) "
+                f"-> {RESULT_PATH.name}"
+            ),
+        )
+    )

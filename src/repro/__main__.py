@@ -111,13 +111,207 @@ def _run_trace(argv: list[str]) -> int:
     return 0
 
 
+def _run_faultsim(argv: list[str]) -> int:
+    """``python -m repro faultsim`` — the parallel sharded coverage
+    campaign over the paper's scenario matrix.
+
+    Fault-grades every scenario run against the per-core fault lists
+    like the Table II/III experiments, but sharded over a process pool
+    (``--workers``) with per-shard checkpoints, so the full campaign
+    runs at host speed and a killed run resumes where it left off.
+    ``--workers 1`` is the exact serial path; any worker/shard geometry
+    produces bit-identical coverage (the differential test suite's
+    invariant).
+    """
+    # Function-level imports: the table experiments don't need any of
+    # the campaign machinery (and vice versa).
+    import json as json_module
+    import tempfile
+
+    from repro.core.determinism import default_scenarios
+    from repro.faults.campaign import COVERAGE_GRADERS, ModuleCoverage, coverage_range
+    from repro.faults.parallel import run_parallel_checkpointed_campaign
+    from repro.faults.workload import (
+        DEFAULT_CAMPAIGN_MODELS,
+        small_provider,
+        standard_provider,
+    )
+    from repro.telemetry.metrics import MetricsCollector
+    from repro.utils.tables import format_table
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro faultsim",
+        description=(
+            "Sharded multi-process fault-simulation campaign: run the "
+            "Section IV-C scenario matrix, fault-grade every run, and "
+            "report per-module coverage ranges plus per-shard throughput."
+        ),
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-pool size (1 = exact serial path, the default)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="scenario shard count (default: min(#scenarios, 4*workers))",
+    )
+    parser.add_argument(
+        "--modules",
+        default="FWD,HDCU,ICU",
+        help=(
+            "comma-separated fault lists to grade; choices: "
+            + ",".join(sorted(COVERAGE_GRADERS))
+        ),
+    )
+    parser.add_argument(
+        "--small",
+        action="store_true",
+        help="smoke-sized routine bodies (fast CI runs)",
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help=(
+            "campaign checkpoint directory (resumable); default: a "
+            "throwaway temp directory"
+        ),
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        help="write the telemetry metrics (incl. per-shard timing) as JSON",
+    )
+    parser.add_argument(
+        "--json",
+        dest="json_out",
+        default=None,
+        help="write a machine-readable campaign summary as JSON",
+    )
+    args = parser.parse_args(argv)
+    modules = tuple(m.strip() for m in args.modules.split(",") if m.strip())
+    unknown = [m for m in modules if m not in COVERAGE_GRADERS]
+    if unknown:
+        parser.error(f"unknown modules {unknown}; choices: {sorted(COVERAGE_GRADERS)}")
+    provider = small_provider() if args.small else standard_provider()
+    scenarios = default_scenarios()
+    metrics = MetricsCollector()
+    start = time.time()
+    with tempfile.TemporaryDirectory() as tmp:
+        result = run_parallel_checkpointed_campaign(
+            provider,
+            scenarios,
+            DEFAULT_CAMPAIGN_MODELS,
+            args.checkpoint_dir or tmp,
+            modules=modules,
+            workers=args.workers,
+            num_shards=args.shards,
+            metrics=metrics,
+        )
+    elapsed = time.time() - start
+    failed = sorted(
+        label for label, o in result.outcomes.items() if o.failed
+    )
+
+    # Coverage ranges per (module, core) across the scenario matrix —
+    # the Table II/III shape, computed from the merged shard outcomes.
+    per_key: dict[tuple[str, int], list[ModuleCoverage]] = {}
+    for outcome in result.outcomes.values():
+        for entry in outcome.coverages:
+            coverage = ModuleCoverage.from_dict(entry)
+            per_key.setdefault(
+                (entry["module"], entry["core_id"]), []
+            ).append(coverage)
+    rows = []
+    summary = []
+    for (module, core_id), coverages in sorted(per_key.items()):
+        spread = coverage_range(coverages)
+        rows.append(
+            (
+                module,
+                str(core_id),
+                spread.core_model,
+                f"{spread.minimum_percent:.2f}",
+                f"{spread.maximum_percent:.2f}",
+                "yes" if spread.stable else "NO",
+            )
+        )
+        summary.append(
+            {
+                "module": module,
+                "core_id": core_id,
+                "core_model": spread.core_model,
+                "min_percent": spread.minimum_percent,
+                "max_percent": spread.maximum_percent,
+                "stable": spread.stable,
+            }
+        )
+    print(
+        format_table(
+            ("module", "core", "model", "min FC%", "max FC%", "stable"),
+            rows,
+            title=(
+                f"Coverage ranges over {len(result.outcomes)} scenarios "
+                f"({args.workers} workers, {result.num_shards} shards)"
+            ),
+        )
+    )
+    if result.shard_timings:
+        print()
+        print(
+            format_table(
+                ("shard", "scenarios", "seconds", "scen/s"),
+                [
+                    (
+                        str(t.index),
+                        str(t.items),
+                        f"{t.seconds:.2f}",
+                        f"{t.throughput:.2f}",
+                    )
+                    for t in result.shard_timings
+                ],
+                title="Executed shards (resume skips completed ones)",
+            )
+        )
+    if failed:
+        print(f"\nquarantined scenarios: {', '.join(failed)}")
+    print(
+        f"\n{len(result.outcomes)} scenarios, {len(result.scheduled)} shard(s) "
+        f"executed in {elapsed:.1f}s wall-clock"
+    )
+    if args.metrics_out:
+        metrics.snapshot().save(args.metrics_out)
+        print(f"wrote {args.metrics_out}")
+    if args.json_out:
+        payload = {
+            "workers": args.workers,
+            "num_shards": result.num_shards,
+            "scenarios": len(result.outcomes),
+            "modules": list(modules),
+            "elapsed_seconds": elapsed,
+            "failed": failed,
+            "coverage_ranges": summary,
+        }
+        with open(args.json_out, "w") as handle:
+            json_module.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.json_out}")
+    return 1 if failed else 0
+
+
 def main(argv: list[str] | None = None) -> int:
-    # The trace subcommand takes its own flags, so dispatch it before
-    # the experiment parser (whose choices are the paper's tables).
+    # The trace/faultsim subcommands take their own flags, so dispatch
+    # them before the experiment parser (whose choices are the paper's
+    # tables).
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "trace":
         return _run_trace(argv[1:])
+    if argv and argv[0] == "faultsim":
+        return _run_faultsim(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description=(

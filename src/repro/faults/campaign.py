@@ -214,6 +214,8 @@ class ScenarioOutcome:
     attempts: int = 1
     #: Determinism-audit verdict of the graded run (``audit=True``).
     audit: dict | None = None
+    #: Final test signature per active core (JSON keys are strings).
+    signatures: dict[str, int] = field(default_factory=dict)
 
     @property
     def failed(self) -> bool:
@@ -229,6 +231,7 @@ class ScenarioOutcome:
             "error": self.error,
             "attempts": self.attempts,
             "audit": self.audit,
+            "signatures": self.signatures,
         }
 
     @classmethod
@@ -239,6 +242,7 @@ class ScenarioOutcome:
             error=data["error"],
             attempts=data["attempts"],
             audit=data.get("audit"),
+            signatures=dict(data.get("signatures", {})),
         )
 
 
@@ -281,8 +285,24 @@ class CampaignCheckpoint:
         return label in self.outcomes
 
     def record(self, outcome: ScenarioOutcome) -> None:
+        """Persist one outcome, keeping memory and disk in lock-step.
+
+        If the write fails (disk full, a kill simulated by the crash
+        tests) the in-memory map is rolled back, so this checkpoint
+        never *claims* a scenario it did not durably record — the
+        invariant that stops a resumed campaign from double-counting a
+        scenario that both a dead worker and its replacement graded.
+        """
+        previous = self.outcomes.get(outcome.label)
         self.outcomes[outcome.label] = outcome
-        self.save()
+        try:
+            self.save()
+        except BaseException:
+            if previous is None:
+                self.outcomes.pop(outcome.label, None)
+            else:
+                self.outcomes[outcome.label] = previous
+            raise
 
     def save(self) -> None:
         data = {
@@ -290,9 +310,41 @@ class CampaignCheckpoint:
             "modules": list(self.modules),
             "scenarios": [o.to_dict() for o in self.outcomes.values()],
         }
-        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
-        tmp.write_text(json.dumps(data, indent=2) + "\n")
-        os.replace(tmp, self.path)
+        # The temp name carries the pid so two processes pointed at the
+        # same checkpoint path can never tear each other's staging file;
+        # fsync-before-rename makes the rename a real commit point even
+        # if the host dies right after.
+        tmp = self.path.with_suffix(f"{self.path.suffix}.tmp.{os.getpid()}")
+        try:
+            with open(tmp, "w") as handle:
+                handle.write(json.dumps(data, indent=2) + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, self.path)
+        finally:
+            if tmp.exists():
+                tmp.unlink()
+
+
+def merge_outcome_maps(maps) -> dict[str, ScenarioOutcome]:
+    """Merge per-shard outcome maps, refusing duplicate scenarios.
+
+    The parallel campaign's reducer: outcome maps from disjoint shards
+    merge by key, and a label appearing in more than one shard (a
+    corrupted manifest, or two campaigns sharing a directory) raises
+    :class:`~repro.errors.CheckpointError` instead of silently keeping
+    one grading and discarding — or double-counting — the other.
+    """
+    merged: dict[str, ScenarioOutcome] = {}
+    for outcome_map in maps:
+        for label, outcome in outcome_map.items():
+            if label in merged:
+                raise CheckpointError(
+                    f"scenario {label!r} appears in multiple shards; "
+                    "shard checkpoints must be disjoint"
+                )
+            merged[label] = outcome
+    return merged
 
 
 def run_checkpointed_campaign(
@@ -352,6 +404,10 @@ def run_checkpointed_campaign(
                 continue
             outcome.error = None
             outcome.audit = result.audit
+            outcome.signatures = {
+                str(core_id): result.per_core[core_id].signature
+                for core_id in scenario.active_cores
+            }
             outcome.coverages = [
                 {
                     "core_id": core_id,

@@ -1,0 +1,641 @@
+"""Sharded, multi-process fault simulation with deterministic merging.
+
+The serial graders in :mod:`repro.faults.ppsfp` /
+:mod:`repro.faults.transition` simulate one fault at a time against a
+fixed pattern set, and :func:`repro.faults.campaign.run_checkpointed_campaign`
+runs one scenario at a time — both embarrassingly parallel, and both on
+the critical path of every Table II/III reproduction.  This module
+fans the work out over a process pool without changing a single
+reported number:
+
+* **Deterministic sharding.**  Faults are assigned to shards by a
+  *stable* hash of their identity (:func:`stable_shard_index`, CRC-32 of
+  ``str(fault)`` — never Python's salted ``hash``), scenarios by the
+  same hash of their label.  The shard layout depends only on the work
+  items and the shard count, never on the worker count, host, or
+  process — so any pool geometry reproduces the same partition.
+* **Explicit per-shard seeds.**  :func:`shard_seed` derives a stable
+  64-bit seed per (base seed, shard index) for any stochastic component
+  a shard may host (randomised property tests, sampled campaigns); the
+  built-in fault models are deterministic and ignore it.
+* **Order-independent merging.**  Shard results are combined with an
+  associativity-checked reducer (:func:`reduce_results`): detection of
+  each fault is independent under single-fault assumption, so per-shard
+  ``detected``/``total`` counts add exactly, and the reducer verifies
+  that a left fold and a balanced tree fold agree before trusting the
+  sum.  ``workers=1`` bypasses the pool entirely and is the exact
+  serial code path.
+
+The campaign variant writes one :class:`~repro.faults.campaign.CampaignCheckpoint`
+per shard plus a manifest pinning the shard layout, so a killed
+campaign resumes by re-scheduling only incomplete shards — with any
+worker count, not just the one it started with.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import zlib
+from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from hashlib import blake2b
+from pathlib import Path
+
+from repro.errors import CheckpointError, FaultModelError
+from repro.faults.campaign import (
+    CHECKPOINT_VERSION,
+    CampaignCheckpoint,
+    ScenarioOutcome,
+    merge_outcome_maps,
+    run_checkpointed_campaign,
+)
+from repro.faults.netlist import Netlist
+from repro.faults.ppsfp import FaultSimResult, PatternSet, fault_simulate
+from repro.faults.transition import transition_fault_simulate
+
+__all__ = [
+    "CampaignShardPlan",
+    "ParallelCampaignResult",
+    "ShardTiming",
+    "check_partition",
+    "parallel_fault_simulate",
+    "parallel_transition_fault_simulate",
+    "plan_campaign_shards",
+    "reduce_results",
+    "run_parallel_checkpointed_campaign",
+    "shard_faults",
+    "shard_seed",
+    "stable_shard_index",
+]
+
+MANIFEST_NAME = "manifest.json"
+
+
+# ----------------------------------------------------------------------
+# Deterministic sharding primitives.
+# ----------------------------------------------------------------------
+
+def fault_identity(item) -> str:
+    """Stable identity string of a fault-list item.
+
+    Accepts both plain faults and the weighted ``(fault, class_size)``
+    pairs of :func:`repro.faults.stuckat.collapse_with_weights`; the
+    weight is not part of the identity (it rides along with its
+    representative).
+    """
+    fault = item[0] if isinstance(item, tuple) else item
+    return str(fault)
+
+
+def stable_shard_index(identity: str, num_shards: int) -> int:
+    """Shard assignment by CRC-32 of the identity string.
+
+    Deliberately *not* Python's ``hash``: that one is salted per
+    process (PYTHONHASHSEED), which would scatter faults differently in
+    every worker and make serial-vs-parallel equivalence meaningless.
+    """
+    if num_shards < 1:
+        raise FaultModelError(f"num_shards must be >= 1, got {num_shards}")
+    return zlib.crc32(identity.encode("utf-8")) % num_shards
+
+
+def shard_seed(base_seed: int, shard_index: int) -> int:
+    """Explicit per-shard RNG seed (stable 64-bit blake2b derivation)."""
+    digest = blake2b(
+        f"{base_seed}:{shard_index}".encode("utf-8"), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big")
+
+
+def shard_faults(faults: list, num_shards: int) -> list[list]:
+    """Partition a fault list into ``num_shards`` deterministic shards.
+
+    Every fault lands in exactly one shard (stable hash of its
+    identity) and keeps its original relative order inside the shard.
+    Shards may be empty — a 3-fault list sharded 16 ways is legal and
+    merges to the same totals.
+    """
+    shards: list[list] = [[] for _ in range(num_shards)]
+    for item in faults:
+        shards[stable_shard_index(fault_identity(item), num_shards)].append(item)
+    return shards
+
+
+def check_partition(faults: list, shards: list[list]) -> None:
+    """Verify a shard set is a true partition of the fault list.
+
+    Completeness (every fault present) and disjointness (no fault in
+    two shards) are checked as identity multisets; a violation raises
+    :class:`~repro.errors.FaultModelError` rather than silently
+    over- or under-counting coverage.
+    """
+    want: dict[str, int] = {}
+    for item in faults:
+        key = fault_identity(item)
+        want[key] = want.get(key, 0) + 1
+    got: dict[str, int] = {}
+    for shard in shards:
+        for item in shard:
+            key = fault_identity(item)
+            got[key] = got.get(key, 0) + 1
+    if want != got:
+        missing = {k for k in want if want[k] > got.get(k, 0)}
+        extra = {k for k in got if got[k] > want.get(k, 0)}
+        raise FaultModelError(
+            f"shard set is not a partition: missing={sorted(missing)[:5]} "
+            f"duplicated_or_foreign={sorted(extra)[:5]}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Order-independent, associativity-checked result reduction.
+# ----------------------------------------------------------------------
+
+def reduce_results(results: list[FaultSimResult]) -> FaultSimResult:
+    """Merge per-shard results into one, checking associativity.
+
+    The merge itself is integer addition over ``total``/``detected``
+    (commutative and associative by construction); the check folds the
+    list both left-to-right and as a balanced tree and insists the two
+    agree, so a future non-associative "merge" cannot slip in silently.
+    """
+    if not results:
+        raise FaultModelError("reduce_results of an empty shard list")
+    left = results[0]
+    for result in results[1:]:
+        left = left.merge(result)
+    tree = _tree_reduce(results)
+    if (left.total_faults, left.detected_faults) != (
+        tree.total_faults,
+        tree.detected_faults,
+    ):
+        raise FaultModelError(
+            f"merge is not associative: fold={left} tree={tree}"
+        )
+    return left
+
+
+def _tree_reduce(results: list[FaultSimResult]) -> FaultSimResult:
+    level = list(results)
+    while len(level) > 1:
+        nxt = [
+            level[i].merge(level[i + 1])
+            for i in range(0, len(level) - 1, 2)
+        ]
+        if len(level) % 2:
+            nxt.append(level[-1])
+        level = nxt
+    return level[0]
+
+
+# ----------------------------------------------------------------------
+# Parallel fault simulation (stuck-at / PPSFP and transition models).
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ShardTiming:
+    """Wall-clock and volume of one completed shard."""
+
+    index: int
+    items: int
+    seconds: float
+
+    @property
+    def throughput(self) -> float:
+        """Work items per second (0.0 for an instantaneous shard)."""
+        if self.seconds <= 0.0:
+            return 0.0
+        return self.items / self.seconds
+
+
+def _simulate_shard(kind: str, netlist: Netlist, patterns: PatternSet, shard: list):
+    """Process-pool entry point: grade one fault shard serially."""
+    start = time.perf_counter()
+    if kind == "stuckat":
+        result = fault_simulate(netlist, patterns, shard)
+    elif kind == "transition":
+        result = transition_fault_simulate(netlist, patterns, shard)
+    else:  # pragma: no cover - guarded by the public wrappers
+        raise FaultModelError(f"unknown fault model kind {kind!r}")
+    return result.to_dict(), time.perf_counter() - start
+
+
+def _parallel_simulate(
+    kind: str,
+    serial,
+    netlist: Netlist,
+    patterns: PatternSet,
+    faults: list,
+    workers: int,
+    num_shards: int | None,
+    metrics=None,
+) -> FaultSimResult:
+    if workers < 1:
+        raise FaultModelError(f"workers must be >= 1, got {workers}")
+    if workers == 1 and num_shards is None:
+        # The exact serial path: same function, same iteration order.
+        return serial(netlist, patterns, faults)
+    shards = shard_faults(faults, num_shards or workers)
+    check_partition(faults, shards)
+    timings: list[ShardTiming] = []
+    if workers == 1:
+        raw = [_simulate_shard(kind, netlist, patterns, shard) for shard in shards]
+    else:
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(shards)), mp_context=_pool_context()
+        ) as pool:
+            futures = [
+                pool.submit(_simulate_shard, kind, netlist, patterns, shard)
+                for shard in shards
+            ]
+            raw = [future.result() for future in futures]
+    results = []
+    for index, (result_dict, seconds) in enumerate(raw):
+        results.append(FaultSimResult.from_dict(result_dict))
+        timings.append(
+            ShardTiming(index=index, items=len(shards[index]), seconds=seconds)
+        )
+    _record_shard_metrics(metrics, f"faultsim.{kind}", timings)
+    merged = reduce_results(results)
+    # Empty shards contribute (0, 0); totals must match the serial sum.
+    return merged
+
+
+def parallel_fault_simulate(
+    netlist: Netlist,
+    patterns: PatternSet,
+    faults=None,
+    *,
+    workers: int = 1,
+    num_shards: int | None = None,
+    metrics=None,
+) -> FaultSimResult:
+    """Sharded :func:`repro.faults.ppsfp.fault_simulate`.
+
+    Accepts plain or weighted fault lists exactly like the serial
+    engine.  ``workers=1`` with the default shard count IS the serial
+    engine; any other geometry shards the list deterministically, fans
+    shards over a process pool and merges with
+    :func:`reduce_results` — the totals are bit-identical either way.
+    ``metrics`` (a :class:`repro.telemetry.MetricsCollector`) receives
+    per-shard timing/throughput host counters when given.
+    """
+    from repro.faults.stuckat import collapse_with_weights
+
+    if faults is None:
+        faults = collapse_with_weights(netlist)
+    return _parallel_simulate(
+        "stuckat", fault_simulate, netlist, patterns, list(faults),
+        workers, num_shards, metrics,
+    )
+
+
+def parallel_transition_fault_simulate(
+    netlist: Netlist,
+    patterns: PatternSet,
+    faults=None,
+    *,
+    workers: int = 1,
+    num_shards: int | None = None,
+    metrics=None,
+) -> FaultSimResult:
+    """Sharded :func:`repro.faults.transition.transition_fault_simulate`.
+
+    The pattern set must be *ordered* (see the serial engine); sharding
+    happens over faults, never over patterns, so launch/capture
+    adjacency is preserved inside every shard.
+    """
+    from repro.faults.transition import enumerate_transition_faults
+
+    if faults is None:
+        faults = enumerate_transition_faults(netlist)
+    return _parallel_simulate(
+        "transition", transition_fault_simulate, netlist, patterns,
+        list(faults), workers, num_shards, metrics,
+    )
+
+
+def _pool_context():
+    """Prefer fork (cheap, inherits loaded modules) where available."""
+    import multiprocessing
+
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX hosts
+        return multiprocessing.get_context()
+
+
+def _record_shard_metrics(metrics, prefix: str, timings: list[ShardTiming]) -> None:
+    if metrics is None:
+        return
+    for timing in timings:
+        metrics.record_host(f"{prefix}.shard{timing.index}.items", timing.items)
+        metrics.record_host(
+            f"{prefix}.shard{timing.index}.us", int(timing.seconds * 1e6)
+        )
+    metrics.record_host(f"{prefix}.shards", len(timings))
+    metrics.record_host(f"{prefix}.items", sum(t.items for t in timings))
+    metrics.record_host(
+        f"{prefix}.us", int(sum(t.seconds for t in timings) * 1e6)
+    )
+
+
+# ----------------------------------------------------------------------
+# Parallel checkpointed coverage campaigns.
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CampaignShardPlan:
+    """The pinned shard layout of one parallel campaign."""
+
+    num_shards: int
+    modules: tuple[str, ...]
+    #: shard index -> scenario labels, in campaign order.
+    labels: tuple[tuple[str, ...], ...]
+
+    def checkpoint_name(self, index: int) -> str:
+        return f"shard_{index:03d}.json"
+
+    def to_dict(self) -> dict:
+        return {
+            "version": CHECKPOINT_VERSION,
+            "modules": list(self.modules),
+            "num_shards": self.num_shards,
+            "labels": [list(shard) for shard in self.labels],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CampaignShardPlan":
+        return cls(
+            num_shards=data["num_shards"],
+            modules=tuple(data["modules"]),
+            labels=tuple(tuple(shard) for shard in data["labels"]),
+        )
+
+
+def plan_campaign_shards(
+    scenarios, modules: tuple[str, ...], num_shards: int
+) -> CampaignShardPlan:
+    """Assign scenarios to shards by stable hash of their labels."""
+    if num_shards < 1:
+        raise CheckpointError(f"num_shards must be >= 1, got {num_shards}")
+    labels: list[list[str]] = [[] for _ in range(num_shards)]
+    for scenario in scenarios:
+        labels[stable_shard_index(scenario.label, num_shards)].append(
+            scenario.label
+        )
+    return CampaignShardPlan(
+        num_shards=num_shards,
+        modules=tuple(modules),
+        labels=tuple(tuple(shard) for shard in labels),
+    )
+
+
+@dataclass
+class ParallelCampaignResult:
+    """Merged outcomes plus the run's shard-level accounting."""
+
+    outcomes: dict[str, ScenarioOutcome]
+    shard_timings: list[ShardTiming] = field(default_factory=list)
+    num_shards: int = 1
+    workers: int = 1
+    #: Shard indices actually executed this run (resume skips the rest).
+    scheduled: tuple[int, ...] = ()
+
+    def coverage_dicts(self) -> dict[str, list[dict]]:
+        """Scenario label -> coverage dict list (comparison helper)."""
+        return {
+            label: outcome.coverages
+            for label, outcome in sorted(self.outcomes.items())
+        }
+
+
+def _campaign_shard_worker(spec: dict):
+    """Process-pool entry point: run one scenario shard to completion.
+
+    Rebuilds the program builders from the picklable provider, then
+    delegates to the serial supervised campaign with the shard's own
+    checkpoint file — the same code path, the same checkpoint format,
+    just a smaller scenario list.
+    """
+    start = time.perf_counter()
+    builders = spec["provider"]()
+    outcomes = run_checkpointed_campaign(
+        builders,
+        spec["scenarios"],
+        spec["models"],
+        spec["checkpoint_path"],
+        modules=spec["modules"],
+        max_cycles=spec["max_cycles"],
+        retries=spec["retries"],
+        audit=spec["audit"],
+    )
+    return (
+        spec["index"],
+        {label: outcome.to_dict() for label, outcome in outcomes.items()},
+        time.perf_counter() - start,
+    )
+
+
+def _load_manifest(path: Path) -> CampaignShardPlan | None:
+    if not path.exists():
+        return None
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise CheckpointError(f"unreadable campaign manifest {path}: {exc}")
+    if data.get("version") != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"campaign manifest {path} has version {data.get('version')!r}, "
+            f"expected {CHECKPOINT_VERSION}"
+        )
+    return CampaignShardPlan.from_dict(data)
+
+
+def _save_manifest(path: Path, plan: CampaignShardPlan) -> None:
+    tmp = path.with_suffix(f".tmp.{os.getpid()}")
+    tmp.write_text(json.dumps(plan.to_dict(), indent=2) + "\n")
+    os.replace(tmp, path)
+
+
+def run_parallel_checkpointed_campaign(
+    builders_provider,
+    scenarios,
+    models,
+    checkpoint_dir: str | Path,
+    modules: tuple[str, ...] = ("FWD",),
+    *,
+    workers: int = 1,
+    num_shards: int | None = None,
+    max_cycles: int = 4_000_000,
+    retries: int = 1,
+    audit: bool = False,
+    metrics=None,
+    on_shard=None,
+) -> ParallelCampaignResult:
+    """Sharded, multi-process :func:`run_checkpointed_campaign`.
+
+    ``builders_provider`` is a zero-argument *picklable* callable (a
+    module-level function or :func:`functools.partial` of one) returning
+    the core-id -> program-builder dict; it is invoked inside each
+    worker so closures never cross the process boundary.  Scenarios are
+    partitioned into ``num_shards`` deterministic shards (stable hash
+    of the scenario label; default ``min(len(scenarios), 4 * workers)``)
+    and each shard runs the ordinary serial supervised campaign against
+    its own checkpoint file under ``checkpoint_dir``.
+
+    The shard layout is pinned in ``manifest.json`` on first run;
+    resuming re-validates the manifest (modules, scenario set), loads
+    every shard checkpoint, and re-schedules **only incomplete
+    shards** — with any worker count, which is why a campaign started
+    with N workers can be finished with M.  Scenario outcomes are
+    deterministic per scenario (fresh SoC, no cross-scenario state), so
+    the merged result is bit-identical for every (workers, num_shards)
+    geometry, including the exact-serial ``workers=1`` path.
+
+    ``on_shard(index, outcomes)`` fires in the parent as each shard
+    completes (kill-injection hook); ``metrics`` receives per-shard
+    timing/throughput host counters.
+    """
+    scenarios = tuple(scenarios)
+    labels = [scenario.label for scenario in scenarios]
+    if len(set(labels)) != len(labels):
+        raise CheckpointError("duplicate scenario labels in campaign")
+    if workers < 1:
+        raise CheckpointError(f"workers must be >= 1, got {workers}")
+    directory = Path(checkpoint_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    manifest_path = directory / MANIFEST_NAME
+    plan = _load_manifest(manifest_path)
+    if plan is None:
+        plan = plan_campaign_shards(
+            scenarios, modules,
+            num_shards or max(1, min(len(scenarios), 4 * workers)),
+        )
+        _save_manifest(manifest_path, plan)
+    else:
+        if plan.modules != tuple(modules):
+            raise CheckpointError(
+                f"campaign at {directory} grades modules {list(plan.modules)}, "
+                f"this run grades {list(modules)}; refusing to mix them"
+            )
+        if num_shards is not None and num_shards != plan.num_shards:
+            raise CheckpointError(
+                f"campaign at {directory} is sharded {plan.num_shards} ways; "
+                f"cannot resume with num_shards={num_shards}"
+            )
+        manifest_labels = sorted(
+            label for shard in plan.labels for label in shard
+        )
+        if manifest_labels != sorted(labels):
+            raise CheckpointError(
+                f"campaign at {directory} covers a different scenario set; "
+                "refusing to resume"
+            )
+    by_label = {scenario.label: scenario for scenario in scenarios}
+    shard_scenarios = [
+        tuple(by_label[label] for label in shard_labels)
+        for shard_labels in plan.labels
+    ]
+
+    # Resume: a shard is complete when its checkpoint holds every label.
+    completed: dict[int, dict[str, ScenarioOutcome]] = {}
+    scheduled: list[int] = []
+    for index, shard_labels in enumerate(plan.labels):
+        path = directory / plan.checkpoint_name(index)
+        existing = (
+            CampaignCheckpoint(path, tuple(modules)).outcomes
+            if path.exists()
+            else {}
+        )
+        if shard_labels and all(label in existing for label in shard_labels):
+            completed[index] = {
+                label: existing[label] for label in shard_labels
+            }
+        elif shard_labels:
+            scheduled.append(index)
+        else:
+            completed[index] = {}
+
+    specs = [
+        {
+            "index": index,
+            "provider": builders_provider,
+            "scenarios": shard_scenarios[index],
+            "models": models,
+            "checkpoint_path": str(directory / plan.checkpoint_name(index)),
+            "modules": tuple(modules),
+            "max_cycles": max_cycles,
+            "retries": retries,
+            "audit": audit,
+        }
+        for index in scheduled
+    ]
+    timings: list[ShardTiming] = []
+    if workers == 1:
+        for spec in specs:
+            index, outcomes, seconds = _campaign_shard_worker(spec)
+            completed[index] = {
+                label: ScenarioOutcome.from_dict(data)
+                for label, data in outcomes.items()
+            }
+            timings.append(
+                ShardTiming(
+                    index=index, items=len(spec["scenarios"]), seconds=seconds
+                )
+            )
+            if on_shard is not None:
+                on_shard(index, completed[index])
+    elif specs:
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(specs)), mp_context=_pool_context()
+        ) as pool:
+            futures = {
+                pool.submit(_campaign_shard_worker, spec): spec for spec in specs
+            }
+            pending = set(futures)
+            try:
+                while pending:
+                    done, pending = wait(pending, return_when=FIRST_EXCEPTION)
+                    for future in done:
+                        index, outcomes, seconds = future.result()
+                        completed[index] = {
+                            label: ScenarioOutcome.from_dict(data)
+                            for label, data in outcomes.items()
+                        }
+                        timings.append(
+                            ShardTiming(
+                                index=index,
+                                items=len(futures[future]["scenarios"]),
+                                seconds=seconds,
+                            )
+                        )
+                        if on_shard is not None:
+                            on_shard(index, completed[index])
+            except BaseException:
+                for future in pending:
+                    future.cancel()
+                raise
+    timings.sort(key=lambda t: t.index)
+    _record_shard_metrics(metrics, "faultsim.campaign", timings)
+    if metrics is not None:
+        metrics.record_host("faultsim.campaign.scenarios", len(scenarios))
+        metrics.record_host("faultsim.campaign.workers", workers)
+    merged = merge_outcome_maps(completed.values())
+    missing = [label for label in labels if label not in merged]
+    if missing:
+        raise CheckpointError(
+            f"campaign finished with unaccounted scenarios {missing[:5]}"
+        )
+    # Present outcomes in the caller's scenario order, like the serial
+    # campaign's insertion-ordered checkpoint dict.
+    ordered = {label: merged[label] for label in labels}
+    return ParallelCampaignResult(
+        outcomes=ordered,
+        shard_timings=timings,
+        num_shards=plan.num_shards,
+        workers=workers,
+        scheduled=tuple(scheduled),
+    )

@@ -53,6 +53,43 @@ class FaultSimResult:
             return 0.0
         return 100.0 * self.detected_faults / self.total_faults
 
+    def merge(self, other: "FaultSimResult") -> "FaultSimResult":
+        """Combine results of two disjoint fault shards.
+
+        Under the single-fault assumption each fault's detection is
+        independent of every other fault in the list, so the counts of
+        disjoint shards add exactly.  Both shards must have been graded
+        against the same module and pattern set.
+        """
+        if other.module != self.module or other.num_patterns != self.num_patterns:
+            raise FaultModelError(
+                f"cannot merge {self.module}@{self.num_patterns} patterns "
+                f"with {other.module}@{other.num_patterns} patterns"
+            )
+        return FaultSimResult(
+            module=self.module,
+            total_faults=self.total_faults + other.total_faults,
+            detected_faults=self.detected_faults + other.detected_faults,
+            num_patterns=self.num_patterns,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "module": self.module,
+            "total_faults": self.total_faults,
+            "detected_faults": self.detected_faults,
+            "num_patterns": self.num_patterns,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSimResult":
+        return cls(
+            module=data["module"],
+            total_faults=data["total_faults"],
+            detected_faults=data["detected_faults"],
+            num_patterns=data["num_patterns"],
+        )
+
 
 def good_simulation(netlist: Netlist, patterns: PatternSet) -> list[int]:
     """Fault-free packed values of every net."""

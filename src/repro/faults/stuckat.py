@@ -22,8 +22,18 @@ class StuckAtFault:
     net: int
     value: int
 
-    def __str__(self) -> str:
+    @property
+    def stable_id(self) -> str:
+        """Process-stable identity used for deterministic sharding.
+
+        The parallel engine assigns shards by a stable hash of this
+        string (never Python's salted ``hash``), so it must identify
+        the fault uniquely and never change format silently.
+        """
         return f"net{self.net}/SA{self.value}"
+
+    def __str__(self) -> str:
+        return self.stable_id
 
 
 def enumerate_faults(netlist: Netlist) -> list[StuckAtFault]:

@@ -43,9 +43,15 @@ class TransitionFault:
     net: int
     rising: bool
 
-    def __str__(self) -> str:
+    @property
+    def stable_id(self) -> str:
+        """Process-stable identity used for deterministic sharding
+        (same contract as :attr:`StuckAtFault.stable_id`)."""
         kind = "STR" if self.rising else "STF"
         return f"net{self.net}/{kind}"
+
+    def __str__(self) -> str:
+        return self.stable_id
 
 
 def enumerate_transition_faults(netlist: Netlist) -> list[TransitionFault]:

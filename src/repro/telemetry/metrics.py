@@ -61,10 +61,14 @@ class MetricsView:
     ``counts`` maps ``(core, phase) -> {metric: value}`` where bus
     metrics are named ``bus.<metric>`` and cache metrics
     ``<cache>.<metric>`` (cache names come from ``CacheConfig.name``).
+    ``host`` carries host-side counters that belong to no simulated
+    core or phase — e.g. the parallel fault-simulation engine's
+    per-shard timing and throughput (``faultsim.*``).
     """
 
-    def __init__(self, counts: dict):
+    def __init__(self, counts: dict, host: dict | None = None):
         self.counts = counts
+        self.host = host or {}
 
     # -- interval arithmetic -------------------------------------------
 
@@ -80,7 +84,12 @@ class MetricsView:
             }
             if diff:
                 result[key] = diff
-        return MetricsView(result)
+        host = {
+            name: value - since.host.get(name, 0)
+            for name, value in self.host.items()
+            if value - since.host.get(name, 0)
+        }
+        return MetricsView(result, host)
 
     # -- lookups --------------------------------------------------------
 
@@ -125,7 +134,12 @@ class MetricsView:
     # -- export ---------------------------------------------------------
 
     def to_dict(self) -> dict:
-        """JSON-ready nested form: core -> phase -> metric -> value."""
+        """JSON-ready nested form: core -> phase -> metric -> value.
+
+        Host-side counters, when present, appear under the reserved
+        ``"host"`` key (absent otherwise, so pre-existing consumers see
+        an unchanged shape).
+        """
         nested: dict = {}
         for (core, phase), metrics in sorted(
             self.counts.items(),
@@ -133,6 +147,8 @@ class MetricsView:
         ):
             label = "unattributed" if core is None else f"core{core}"
             nested.setdefault(label, {})[phase] = dict(sorted(metrics.items()))
+        if self.host:
+            nested["host"] = dict(sorted(self.host.items()))
         return nested
 
     def save(self, path: str | Path) -> None:
@@ -182,6 +198,17 @@ class MetricsView:
                     title="Cache activity by core and STL phase",
                 )
             )
+        if self.host:
+            sections.append(
+                format_table(
+                    ("counter", "value"),
+                    [
+                        (name, f"{value:,}")
+                        for name, value in sorted(self.host.items())
+                    ],
+                    title="Host-side counters",
+                )
+            )
         if not sections:
             return "(no telemetry metrics recorded)"
         return "\n\n".join(sections)
@@ -193,6 +220,20 @@ class MetricsCollector:
     def __init__(self):
         self._tracker = PhaseTracker()
         self._counts: dict = {}
+        self._host: dict[str, int] = {}
+
+    def record_host(self, metric: str, amount: int = 1) -> None:
+        """Accumulate a host-side counter (no core, no phase).
+
+        The out-of-band entry point for instrumentation that runs on
+        the host rather than in the simulated SoC — the parallel
+        fault-simulation engine records per-shard wall-clock and
+        throughput here, keeping the (core, phase) space reserved for
+        simulated activity.
+        """
+        if amount == 0:
+            return
+        self._host[metric] = self._host.get(metric, 0) + amount
 
     def _bump(self, core: int | None, metric: str, amount: int = 1) -> None:
         if amount == 0:
@@ -235,13 +276,14 @@ class MetricsCollector:
     def snapshot(self) -> MetricsView:
         """A frozen copy of the counters accumulated so far."""
         return MetricsView(
-            {key: dict(metrics) for key, metrics in self._counts.items()}
+            {key: dict(metrics) for key, metrics in self._counts.items()},
+            dict(self._host),
         )
 
     # Convenience pass-throughs so a collector can be used directly
     # where a view is expected (reads see the live counters).
     def view(self) -> MetricsView:
-        return MetricsView(self._counts)
+        return MetricsView(self._counts, self._host)
 
     def render(self) -> str:
         return self.snapshot().render()

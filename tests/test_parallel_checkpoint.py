@@ -1,0 +1,287 @@
+"""Crash injection around per-shard checkpoints + worker-count interop.
+
+Satellites of the parallel engine PR: a worker killed mid-shard (or a
+checkpoint write that dies mid-save) must never double-count detected
+faults on resume, and a campaign started with N workers must finish
+under M workers with bit-identical coverage.
+"""
+
+import json
+import os
+from functools import partial
+
+import pytest
+
+from repro.core.determinism import Scenario
+from repro.errors import CheckpointError
+from repro.faults import (
+    CampaignCheckpoint,
+    ScenarioOutcome,
+    merge_outcome_maps,
+    run_parallel_checkpointed_campaign,
+)
+from repro.faults.parallel import MANIFEST_NAME
+from repro.faults.workload import (
+    DEFAULT_CAMPAIGN_MODELS,
+    forwarding_builders,
+    small_provider,
+)
+from repro.soc import CodeAlignment, CodePosition
+
+SCENARIOS = (
+    Scenario((0, 1), CodePosition.LOW, CodeAlignment.QWORD),
+    Scenario((0, 1), CodePosition.MID, CodeAlignment.WORD),
+    Scenario((0, 1, 2), CodePosition.HIGH, CodeAlignment.WORD),
+)
+
+
+def crashy_builders(sentinel: str, crash_after: int):
+    """Builders whose core-0 program builder dies (a plain RuntimeError,
+    deliberately NOT a contained ReproError) once ``crash_after`` builds
+    have happened — unless the sentinel file exists.  Module-level so a
+    ``partial`` of it pickles into worker processes."""
+    builders = forwarding_builders(1, 1)
+    calls = {"count": 0}
+    inner = builders[0]
+
+    def build(base_address: int):
+        calls["count"] += 1
+        if calls["count"] > crash_after and not os.path.exists(sentinel):
+            raise RuntimeError("simulated worker kill mid-shard")
+        return inner(base_address)
+
+    builders[0] = build
+    return builders
+
+
+def outcome_dicts(outcomes):
+    return {label: outcome.to_dict() for label, outcome in outcomes.items()}
+
+
+@pytest.fixture(scope="module")
+def reference(tmp_path_factory):
+    """The uninterrupted campaign every recovery path must reproduce."""
+    result = run_parallel_checkpointed_campaign(
+        small_provider(),
+        SCENARIOS,
+        DEFAULT_CAMPAIGN_MODELS,
+        tmp_path_factory.mktemp("reference"),
+        modules=("FWD",),
+        workers=1,
+    )
+    return outcome_dicts(result.outcomes)
+
+
+# ----------------------------------------------------------------------
+# Killed worker mid-shard: resume must not double-count.
+# ----------------------------------------------------------------------
+
+
+def test_killed_worker_mid_shard_resumes_without_double_count(
+    tmp_path, reference
+):
+    directory = tmp_path / "campaign"
+    sentinel = tmp_path / "sentinel"
+    provider = partial(crashy_builders, str(sentinel), 1)
+
+    # One shard holds the whole campaign, so the kill lands after the
+    # first scenario's checkpoint write and before the shard finishes.
+    with pytest.raises(RuntimeError, match="simulated worker kill"):
+        run_parallel_checkpointed_campaign(
+            provider,
+            SCENARIOS,
+            DEFAULT_CAMPAIGN_MODELS,
+            directory,
+            modules=("FWD",),
+            workers=2,
+            num_shards=1,
+        )
+    shard_file = directory / "shard_000.json"
+    saved = json.loads(shard_file.read_text())
+    assert len(saved["scenarios"]) == 1  # exactly the checkpointed one
+
+    # The worker is "replaced" (sentinel defuses the crash) and the
+    # campaign resumed with a different worker count.
+    sentinel.touch()
+    resumed = run_parallel_checkpointed_campaign(
+        provider,
+        SCENARIOS,
+        DEFAULT_CAMPAIGN_MODELS,
+        directory,
+        modules=("FWD",),
+        workers=1,
+    )
+    assert outcome_dicts(resumed.outcomes) == reference
+    # Every scenario appears exactly once — coverage totals equal the
+    # uninterrupted run's, so nothing was double-counted.
+    assert sorted(resumed.outcomes) == sorted(s.label for s in SCENARIOS)
+
+
+def test_crash_during_checkpoint_save_rolls_back(tmp_path, monkeypatch):
+    """A kill *inside* the checkpoint write must leave the previous
+    consistent file and an in-memory map that matches it."""
+    path = tmp_path / "c.json"
+    checkpoint = CampaignCheckpoint(path, ("FWD",))
+    checkpoint.record(ScenarioOutcome(label="s1"))
+
+    def die(src, dst):
+        raise OSError("simulated kill during rename")
+
+    monkeypatch.setattr("repro.faults.campaign.os.replace", die)
+    with pytest.raises(OSError, match="simulated kill"):
+        checkpoint.record(ScenarioOutcome(label="s2"))
+    monkeypatch.undo()
+
+    # In-memory state rolled back: the checkpoint does not claim s2...
+    assert checkpoint.done("s1") and not checkpoint.done("s2")
+    # ... the on-disk file is the previous consistent state...
+    reloaded = CampaignCheckpoint(path, ("FWD",))
+    assert sorted(reloaded.outcomes) == ["s1"]
+    # ... no staging litter survives, and recording works again.
+    assert not list(tmp_path.glob("*.tmp*"))
+    checkpoint.record(ScenarioOutcome(label="s2"))
+    assert sorted(CampaignCheckpoint(path, ("FWD",)).outcomes) == ["s1", "s2"]
+
+
+def test_failed_save_of_updated_outcome_restores_previous(
+    tmp_path, monkeypatch
+):
+    path = tmp_path / "c.json"
+    checkpoint = CampaignCheckpoint(path, ("FWD",))
+    original = ScenarioOutcome(label="s1", attempts=1)
+    checkpoint.record(original)
+    monkeypatch.setattr(
+        "repro.faults.campaign.os.replace",
+        lambda src, dst: (_ for _ in ()).throw(OSError("kill")),
+    )
+    with pytest.raises(OSError):
+        checkpoint.record(ScenarioOutcome(label="s1", attempts=7))
+    assert checkpoint.outcomes["s1"].attempts == original.attempts
+
+
+def test_merge_outcome_maps_rejects_duplicate_scenarios():
+    a = {"s1": ScenarioOutcome(label="s1")}
+    b = {"s2": ScenarioOutcome(label="s2"), "s1": ScenarioOutcome(label="s1")}
+    with pytest.raises(CheckpointError, match="multiple shards"):
+        merge_outcome_maps([a, b])
+    merged = merge_outcome_maps([a, {"s2": ScenarioOutcome(label="s2")}])
+    assert sorted(merged) == ["s1", "s2"]
+
+
+# ----------------------------------------------------------------------
+# Worker-count interop: start with N workers, finish with M != N.
+# ----------------------------------------------------------------------
+
+
+def test_resume_with_different_worker_count(tmp_path, reference):
+    directory = tmp_path / "campaign"
+
+    class Killed(Exception):
+        pass
+
+    def kill_after_first_shard(index, outcomes):
+        raise Killed(f"killed after shard {index}")
+
+    with pytest.raises(Killed):
+        run_parallel_checkpointed_campaign(
+            small_provider(),
+            SCENARIOS,
+            DEFAULT_CAMPAIGN_MODELS,
+            directory,
+            modules=("FWD",),
+            workers=2,
+            num_shards=3,
+            on_shard=kill_after_first_shard,
+        )
+
+    # Resume with a different worker count (and no explicit shard
+    # count: the pinned manifest layout must win).
+    resumed = run_parallel_checkpointed_campaign(
+        small_provider(),
+        SCENARIOS,
+        DEFAULT_CAMPAIGN_MODELS,
+        directory,
+        modules=("FWD",),
+        workers=3,
+    )
+    assert resumed.num_shards == 3
+    # At least one shard completed before the kill, so the resume
+    # re-schedules strictly fewer shards than the manifest holds.
+    assert len(resumed.scheduled) < resumed.num_shards
+    assert outcome_dicts(resumed.outcomes) == reference
+
+
+def test_fully_completed_campaign_resumes_as_pure_reads(tmp_path, reference):
+    directory = tmp_path / "campaign"
+    first = run_parallel_checkpointed_campaign(
+        small_provider(),
+        SCENARIOS,
+        DEFAULT_CAMPAIGN_MODELS,
+        directory,
+        modules=("FWD",),
+        workers=2,
+        num_shards=2,
+    )
+    assert outcome_dicts(first.outcomes) == reference
+    second = run_parallel_checkpointed_campaign(
+        small_provider(),
+        SCENARIOS,
+        DEFAULT_CAMPAIGN_MODELS,
+        directory,
+        modules=("FWD",),
+        workers=4,
+    )
+    assert second.scheduled == ()  # nothing re-ran
+    assert second.shard_timings == []
+    assert outcome_dicts(second.outcomes) == reference
+
+
+# ----------------------------------------------------------------------
+# Manifest hygiene.
+# ----------------------------------------------------------------------
+
+
+def run_small(directory, **kwargs):
+    return run_parallel_checkpointed_campaign(
+        small_provider(),
+        SCENARIOS,
+        DEFAULT_CAMPAIGN_MODELS,
+        directory,
+        **kwargs,
+    )
+
+
+def test_resume_rejects_conflicting_shard_count(tmp_path):
+    directory = tmp_path / "campaign"
+    run_small(directory, modules=("FWD",), workers=1, num_shards=2)
+    with pytest.raises(CheckpointError, match="sharded 2 ways"):
+        run_small(directory, modules=("FWD",), workers=1, num_shards=5)
+
+
+def test_resume_rejects_different_modules(tmp_path):
+    directory = tmp_path / "campaign"
+    run_small(directory, modules=("FWD",), workers=1, num_shards=2)
+    with pytest.raises(CheckpointError, match="refusing to mix"):
+        run_small(directory, modules=("FWD", "ICU"), workers=1)
+
+
+def test_resume_rejects_different_scenario_set(tmp_path):
+    directory = tmp_path / "campaign"
+    run_small(directory, modules=("FWD",), workers=1, num_shards=2)
+    with pytest.raises(CheckpointError, match="different scenario set"):
+        run_parallel_checkpointed_campaign(
+            small_provider(),
+            SCENARIOS[:2],
+            DEFAULT_CAMPAIGN_MODELS,
+            directory,
+            modules=("FWD",),
+            workers=1,
+        )
+
+
+def test_garbage_manifest_is_rejected(tmp_path):
+    directory = tmp_path / "campaign"
+    directory.mkdir()
+    (directory / MANIFEST_NAME).write_text("not json {")
+    with pytest.raises(CheckpointError, match="unreadable campaign manifest"):
+        run_small(directory, modules=("FWD",), workers=1)
