@@ -1,0 +1,196 @@
+"""Hot-path wall-clock: compiled kernel vs interpreted reference.
+
+Runs the full Section IV-C scenario matrix once, extracts every
+(netlist, pattern set, fault list) grading item the campaign would
+fault-simulate, and times the serial grading sweep under both engines
+— the exact per-fault hot path, with scenario simulation (engine-
+independent) excluded.  Records wall-clock, the speedup ratio and a
+gate-fault-evaluations/second throughput proxy in
+``BENCH_hotpaths.json``, plus 1/2/4-worker compiled campaign runs for
+the pool-scaling picture (flagged when oversubscribed, as on a
+single-CPU container).
+
+The speedup IS asserted: the compiled kernel exists to make the hot
+path at least 3x faster, and equivalence of the detected counts is
+checked in the same sweep — a fast-but-wrong kernel fails here before
+it fails the differential suite.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import tempfile
+import time
+
+from repro.core.determinism import default_scenarios, run_scenario
+from repro.faults import run_parallel_checkpointed_campaign
+from repro.faults.compiled import compiled_for
+from repro.faults.generators import get_modules
+from repro.faults.observability import (
+    forwarding_pattern_sets,
+    hdcu_pattern_sets,
+    icu_pattern_set,
+)
+from repro.faults.ppsfp import fault_simulate
+from repro.faults.workload import DEFAULT_CAMPAIGN_MODELS, standard_provider
+from repro.telemetry.metrics import MetricsCollector
+from repro.utils.tables import format_table
+
+MODULES = ("FWD", "HDCU", "ICU")
+WORKER_COUNTS = (1, 2, 4)
+REPS = 3
+MIN_SPEEDUP = 3.0
+RESULT_PATH = pathlib.Path(__file__).resolve().parent.parent / (
+    "BENCH_hotpaths.json"
+)
+
+
+def grading_items():
+    """Every (netlist, patterns, faults) item of the scenario matrix."""
+    builders = standard_provider()()
+    items = []
+    for scenario in default_scenarios():
+        result = run_scenario(builders, scenario)
+        for core_id, model in DEFAULT_CAMPAIGN_MODELS.items():
+            if core_id not in result.per_core:
+                continue
+            log = result.per_core[core_id].log
+            modules = get_modules(model)
+            fwd = forwarding_pattern_sets(log, modules)
+            for port, faults in modules.forwarding_faults.items():
+                patterns = fwd.get(port)
+                if patterns is not None and patterns.num_patterns:
+                    items.append((modules.forwarding[port], patterns, faults))
+            hdcu = hdcu_pattern_sets(log, modules)
+            for port, faults in modules.hdcu_faults.items():
+                patterns = hdcu.get(port)
+                if patterns is not None and patterns.num_patterns:
+                    items.append((modules.hdcu[port], patterns, faults))
+            icu = icu_pattern_set(log, modules)
+            if icu.num_patterns:
+                items.append((modules.icu, icu, modules.icu_faults))
+    return items
+
+
+def sweep(items, engine):
+    """Grade every item serially; wall-clock + total detected."""
+    start = time.perf_counter()
+    detected = sum(
+        fault_simulate(netlist, patterns, faults, engine=engine).detected_faults
+        for netlist, patterns, faults in items
+    )
+    return time.perf_counter() - start, detected
+
+
+def test_compiled_kernel_speedup(emit):
+    metrics = MetricsCollector()
+    cpus = os.cpu_count() or 1
+
+    setup_start = time.perf_counter()
+    items = grading_items()
+    setup_seconds = time.perf_counter() - setup_start
+    # The work volume behind the throughput proxy: one gate evaluation
+    # per gate per fault is what the interpreted engine's cost model
+    # bounds, so gates x faults / second compares engines fairly.
+    gate_fault_evals = sum(
+        len(netlist.gates) * len(faults) for netlist, _, faults in items
+    )
+
+    compile_start = time.perf_counter()
+    for netlist, _, _ in items:
+        compiled_for(netlist)  # one-time lowering, cached per netlist
+    compile_seconds = time.perf_counter() - compile_start
+
+    times = {}
+    detected = {}
+    for engine in ("interpreted", "compiled"):
+        best = float("inf")
+        for _ in range(REPS):
+            seconds, count = sweep(items, engine)
+            best = min(best, seconds)
+            detected[engine] = count
+        times[engine] = best
+        metrics.record_host(f"bench.hotpaths.{engine}.us", int(best * 1e6))
+        metrics.record_host(
+            f"bench.hotpaths.{engine}.evals_per_s",
+            int(gate_fault_evals / best),
+        )
+    # Fast but wrong is just wrong.
+    assert detected["compiled"] == detected["interpreted"]
+    speedup = times["interpreted"] / times["compiled"]
+    metrics.record_host("bench.hotpaths.speedup_x1000", int(speedup * 1000))
+
+    # Pool scaling of the compiled engine over the same scenario set.
+    runs = []
+    for workers in WORKER_COUNTS:
+        with tempfile.TemporaryDirectory() as tmp:
+            start = time.perf_counter()
+            run_parallel_checkpointed_campaign(
+                standard_provider(),
+                default_scenarios(),
+                DEFAULT_CAMPAIGN_MODELS,
+                tmp,
+                modules=MODULES,
+                workers=workers,
+                engine="compiled",
+                metrics=metrics,
+            )
+            seconds = time.perf_counter() - start
+        metrics.record_host(
+            f"bench.hotpaths.campaign.w{workers}.us", int(seconds * 1e6)
+        )
+        runs.append(
+            {
+                "workers": workers,
+                "seconds": round(seconds, 3),
+                "oversubscribed": workers > cpus,
+            }
+        )
+
+    payload = {
+        "benchmark": "hotpaths",
+        "cpu_count": cpus,
+        "grading_items": len(items),
+        "gate_fault_evals": gate_fault_evals,
+        "setup_seconds": round(setup_seconds, 3),
+        "compile_seconds": round(compile_seconds, 3),
+        "serial": {
+            engine: {
+                "seconds": round(seconds, 4),
+                "evals_per_second": int(gate_fault_evals / seconds),
+                "detected_faults": detected[engine],
+            }
+            for engine, seconds in times.items()
+        },
+        "speedup": round(speedup, 3),
+        "min_speedup": MIN_SPEEDUP,
+        "compiled_campaign_runs": runs,
+        "host_metrics": metrics.snapshot().to_dict().get("host", {}),
+    }
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    emit(
+        format_table(
+            ("engine", "seconds", "evals/s", "speedup"),
+            [
+                (
+                    engine,
+                    f"{seconds:.3f}",
+                    f"{gate_fault_evals / seconds:,.0f}",
+                    f"{times['interpreted'] / seconds:.2f}x",
+                )
+                for engine, seconds in times.items()
+            ],
+            title=(
+                f"Serial grading of {len(items)} items "
+                f"({gate_fault_evals:,} gate-fault evals, best of {REPS}) "
+                f"-> {RESULT_PATH.name}"
+            ),
+        )
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"compiled kernel is only {speedup:.2f}x faster than interpreted "
+        f"(required: {MIN_SPEEDUP}x); see {RESULT_PATH}"
+    )

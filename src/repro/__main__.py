@@ -130,7 +130,11 @@ def _run_faultsim(argv: list[str]) -> int:
 
     from repro.core.determinism import default_scenarios
     from repro.faults.campaign import COVERAGE_GRADERS, ModuleCoverage, coverage_range
-    from repro.faults.parallel import run_parallel_checkpointed_campaign
+    from repro.faults.parallel import (
+        resolve_workers,
+        run_parallel_checkpointed_campaign,
+    )
+    from repro.faults.ppsfp import ENGINES
     from repro.faults.workload import (
         DEFAULT_CAMPAIGN_MODELS,
         small_provider,
@@ -151,7 +155,20 @@ def _run_faultsim(argv: list[str]) -> int:
         "--workers",
         type=int,
         default=1,
-        help="process-pool size (1 = exact serial path, the default)",
+        help=(
+            "process-pool size (1 = exact serial path, the default); "
+            "requests beyond the host's CPU count are clamped"
+        ),
+    )
+    parser.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default="compiled",
+        help=(
+            "fault-simulation engine: the levelized compiled kernel "
+            "(default) or the interpreted reference path — bit-identical "
+            "coverage either way"
+        ),
     )
     parser.add_argument(
         "--shards",
@@ -199,6 +216,12 @@ def _run_faultsim(argv: list[str]) -> int:
     provider = small_provider() if args.small else standard_provider()
     scenarios = default_scenarios()
     metrics = MetricsCollector()
+    workers = resolve_workers(args.workers)
+    if workers != args.workers:
+        print(
+            f"note: clamped --workers {args.workers} to {workers} "
+            f"(host CPU count)"
+        )
     start = time.time()
     with tempfile.TemporaryDirectory() as tmp:
         result = run_parallel_checkpointed_campaign(
@@ -207,8 +230,9 @@ def _run_faultsim(argv: list[str]) -> int:
             DEFAULT_CAMPAIGN_MODELS,
             args.checkpoint_dir or tmp,
             modules=modules,
-            workers=args.workers,
+            workers=workers,
             num_shards=args.shards,
+            engine=args.engine,
             metrics=metrics,
         )
     elapsed = time.time() - start
@@ -255,7 +279,8 @@ def _run_faultsim(argv: list[str]) -> int:
             rows,
             title=(
                 f"Coverage ranges over {len(result.outcomes)} scenarios "
-                f"({args.workers} workers, {result.num_shards} shards)"
+                f"({workers} workers, {result.num_shards} shards, "
+                f"{args.engine} engine)"
             ),
         )
     )
@@ -287,7 +312,8 @@ def _run_faultsim(argv: list[str]) -> int:
         print(f"wrote {args.metrics_out}")
     if args.json_out:
         payload = {
-            "workers": args.workers,
+            "workers": workers,
+            "engine": args.engine,
             "num_shards": result.num_shards,
             "scenarios": len(result.outcomes),
             "modules": list(modules),

@@ -23,7 +23,7 @@ from repro.faults.observability import (
     hdcu_pattern_sets,
     icu_pattern_set,
 )
-from repro.faults.ppsfp import fault_simulate
+from repro.faults.ppsfp import _check_engine, fault_simulate
 from repro.faults.transition import (
     enumerate_transition_faults,
     transition_fault_simulate,
@@ -63,7 +63,9 @@ class ModuleCoverage:
         )
 
 
-def forwarding_coverage(log: ActivationLog, model: CoreModel) -> ModuleCoverage:
+def forwarding_coverage(
+    log: ActivationLog, model: CoreModel, *, engine: str = "compiled"
+) -> ModuleCoverage:
     """Grade the forwarding-logic fault list against one run's log."""
     modules = get_modules(model)
     pattern_sets = forwarding_pattern_sets(log, modules)
@@ -72,7 +74,9 @@ def forwarding_coverage(log: ActivationLog, model: CoreModel) -> ModuleCoverage:
         patterns = pattern_sets.get(port)
         if patterns is None or patterns.num_patterns == 0:
             continue
-        result = fault_simulate(modules.forwarding[port], patterns, faults)
+        result = fault_simulate(
+            modules.forwarding[port], patterns, faults, engine=engine
+        )
         detected += result.detected_faults
     return ModuleCoverage(
         module="FWD",
@@ -82,7 +86,9 @@ def forwarding_coverage(log: ActivationLog, model: CoreModel) -> ModuleCoverage:
     )
 
 
-def hdcu_coverage(log: ActivationLog, model: CoreModel) -> ModuleCoverage:
+def hdcu_coverage(
+    log: ActivationLog, model: CoreModel, *, engine: str = "compiled"
+) -> ModuleCoverage:
     """Grade the HDCU fault list against one run's log."""
     modules = get_modules(model)
     pattern_sets = hdcu_pattern_sets(log, modules)
@@ -91,7 +97,9 @@ def hdcu_coverage(log: ActivationLog, model: CoreModel) -> ModuleCoverage:
         patterns = pattern_sets.get(port)
         if patterns is None or patterns.num_patterns == 0:
             continue
-        result = fault_simulate(modules.hdcu[port], patterns, faults)
+        result = fault_simulate(
+            modules.hdcu[port], patterns, faults, engine=engine
+        )
         detected += result.detected_faults
     return ModuleCoverage(
         module="HDCU",
@@ -101,7 +109,9 @@ def hdcu_coverage(log: ActivationLog, model: CoreModel) -> ModuleCoverage:
     )
 
 
-def icu_coverage(log: ActivationLog, model: CoreModel) -> ModuleCoverage:
+def icu_coverage(
+    log: ActivationLog, model: CoreModel, *, engine: str = "compiled"
+) -> ModuleCoverage:
     """Grade the ICU fault list against one run's log."""
     modules = get_modules(model)
     patterns = icu_pattern_set(log, modules)
@@ -109,7 +119,7 @@ def icu_coverage(log: ActivationLog, model: CoreModel) -> ModuleCoverage:
         detected = 0
     else:
         detected = fault_simulate(
-            modules.icu, patterns, modules.icu_faults
+            modules.icu, patterns, modules.icu_faults, engine=engine
         ).detected_faults
     return ModuleCoverage(
         module="ICU",
@@ -120,7 +130,7 @@ def icu_coverage(log: ActivationLog, model: CoreModel) -> ModuleCoverage:
 
 
 def forwarding_transition_coverage(
-    log: ActivationLog, model: CoreModel
+    log: ActivationLog, model: CoreModel, *, engine: str = "compiled"
 ) -> ModuleCoverage:
     """Grade transition-delay faults on the forwarding logic.
 
@@ -140,7 +150,9 @@ def forwarding_transition_coverage(
         patterns = pattern_sets.get(port)
         if patterns is None or patterns.num_patterns < 2:
             continue
-        result = transition_fault_simulate(netlist, patterns, faults)
+        result = transition_fault_simulate(
+            netlist, patterns, faults, engine=engine
+        )
         detected += result.detected_faults
     return ModuleCoverage(
         module="FWD-TDF",
@@ -358,6 +370,7 @@ def run_checkpointed_campaign(
     retries: int = 1,
     on_scenario=None,
     audit: bool = False,
+    engine: str = "compiled",
 ) -> dict[str, ScenarioOutcome]:
     """Run a coverage campaign with supervision and JSON checkpointing.
 
@@ -376,7 +389,10 @@ def run_checkpointed_campaign(
     ``on_scenario(outcome)``, when given, is called after each scenario
     is checkpointed — the test hook used to simulate mid-run kills.
     ``audit=True`` runs every scenario under the determinism auditor and
-    records its verdict in each :class:`ScenarioOutcome`.
+    records its verdict in each :class:`ScenarioOutcome`.  ``engine``
+    selects the fault-simulation kernel the graders use ("compiled" by
+    default, "interpreted" for the reference path — bit-identical
+    outcomes either way).
     """
     # Imported here: repro.core builds on repro.faults results in the
     # analysis layer, so the module-level direction stays faults <- core.
@@ -386,6 +402,7 @@ def run_checkpointed_campaign(
     unknown = [m for m in modules if m not in COVERAGE_GRADERS]
     if unknown:
         raise ValueError(f"unknown coverage modules {unknown}")
+    _check_engine(engine)
     config = soc_config or DEFAULT_SOC_CONFIG
     checkpoint = CampaignCheckpoint(checkpoint_path, modules)
     for scenario in scenarios:
@@ -412,7 +429,8 @@ def run_checkpointed_campaign(
                 {
                     "core_id": core_id,
                     **COVERAGE_GRADERS[module](
-                        result.per_core[core_id].log, models[core_id]
+                        result.per_core[core_id].log, models[core_id],
+                        engine=engine,
                     ).to_dict(),
                 }
                 for module in modules

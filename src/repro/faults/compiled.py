@@ -1,0 +1,417 @@
+"""Compiled fault-simulation kernel: one-time netlist lowering.
+
+The interpreted engine walks ``list[Gate]`` calling ``eval_gate`` per
+gate and re-heapifies a fanout frontier per fault — pure dispatch
+overhead on a hot path that every Table II/III run, the resilience
+campaigns and the parallel engine sit on.  This module lowers a
+:class:`~repro.faults.netlist.Netlist` **once** into flat parallel
+arrays and evaluates against those:
+
+* **Flat gate arrays.**  ``kinds``/``gate_a``/``gate_b``/``gate_out``
+  are plain-int lists (no :class:`Gate` attribute lookups, no
+  ``GateKind`` enum dispatch) plus precomputed static ``levels`` and a
+  CSR fanout table (``fanout_index``/``fanout_gates``).
+* **Levelized per-kind good simulation.**  Gates are grouped into
+  (level, kind) batches at compile time; :meth:`CompiledNetlist.evaluate`
+  sweeps each batch with a specialised tight loop instead of calling
+  ``eval_gate`` per gate.  Values are bit-for-bit those of
+  ``Netlist.evaluate``.
+* **Cone-cached propagation.**  Each fault site's fanout cone — the
+  topologically-sorted slice of gates it can possibly disturb — is
+  computed once and cached (:meth:`CompiledNetlist.cone`).  Propagating
+  a fault walks that slice with epoch-stamped preallocated value
+  buffers, so per-fault allocation is near zero: no heap, no ``seen``
+  set, no faulty-value dict.  Cones are additionally *truncated* to
+  gates that can structurally reach an observable output whenever the
+  pattern set's observability lives on output nets (always true for the
+  pattern sets built by :mod:`repro.faults.observability`) — the
+  deliberately-unobservable slices of the generated modules (WAW
+  scheduler, vectored-IRQ path) are then never walked at all.
+
+Compiling **freezes** the netlist: late structural mutation raises
+instead of leaving a silently stale artifact.  The artifact itself is
+cached on the netlist instance (:func:`compiled_for`), and since the
+per-model module netlists are process-cached in
+:mod:`repro.faults.generators`, every worker process compiles each
+netlist exactly once.
+
+The compiled engine is selected with ``engine="compiled"`` (the
+default) on :func:`repro.faults.ppsfp.fault_simulate` and friends; its
+results are bit-identical to ``engine="interpreted"`` — same detected
+fault sets, same coverage, same signatures — which the differential
+suite ``tests/test_compiled_equivalence.py`` pins across fault models,
+shard geometries and checkpoint resume.
+"""
+
+from __future__ import annotations
+
+from repro.errors import FaultModelError
+from repro.faults.netlist import Netlist
+
+__all__ = ["CompiledNetlist", "compile_netlist", "compiled_for"]
+
+#: Plain-int mirror of :class:`repro.faults.gates.GateKind` (the kernels
+#: compare against ints, never enum members).
+_BUF, _NOT, _AND, _OR, _NAND, _NOR, _XOR, _XNOR = range(8)
+
+
+class CompiledNetlist:
+    """A netlist lowered to flat arrays plus reusable kernel buffers.
+
+    Build through :func:`compile_netlist` (or the caching
+    :func:`compiled_for`); the constructor does the full lowering pass
+    and freezes the source netlist.
+    """
+
+    __slots__ = (
+        "netlist",
+        "num_nets",
+        "num_gates",
+        "kinds",
+        "gate_a",
+        "gate_b",
+        "gate_out",
+        "levels",
+        "fanout_index",
+        "fanout_gates",
+        "schedule",
+        "observable",
+        "_cones",
+        "_full_cones",
+        "_faulty",
+        "_stamp",
+        "_epoch",
+    )
+
+    def __init__(self, netlist: Netlist):
+        netlist.freeze()
+        self.netlist = netlist
+        self.num_nets = netlist.num_nets
+        self.num_gates = len(netlist.gates)
+        self.kinds = [int(g.kind) for g in netlist.gates]
+        self.gate_a = [g.a for g in netlist.gates]
+        self.gate_b = [g.b for g in netlist.gates]
+        self.gate_out = [g.out for g in netlist.gates]
+        self.levels = self._compute_levels()
+        self.fanout_index, self.fanout_gates = self._compute_fanout_csr()
+        self.schedule = self._compute_schedule()
+        self.observable = self._compute_observable()
+        # Cone caches: site -> tuple of (kind, a, b, out) quads in
+        # topological order.  Filled lazily, kept for the artifact's
+        # lifetime — every stuck-at/transition fault on the same net
+        # reuses the slice.
+        self._cones: dict[int, tuple] = {}
+        self._full_cones: dict[int, tuple] = {}
+        # Preallocated propagation buffers: faulty values + epoch
+        # stamps.  A net's faulty value is valid only when its stamp
+        # equals the current epoch, so "resetting" between faults is a
+        # single integer increment.
+        self._faulty = [0] * self.num_nets
+        self._stamp = [0] * self.num_nets
+        self._epoch = 0
+
+    # ------------------------------------------------------------------
+    # Compile passes.
+    # ------------------------------------------------------------------
+
+    def _compute_levels(self) -> list[int]:
+        """Static level per gate (inputs are level 0)."""
+        net_level = [0] * self.num_nets
+        levels = []
+        for a, b, out in zip(self.gate_a, self.gate_b, self.gate_out):
+            level = net_level[a]
+            if b >= 0 and net_level[b] > level:
+                level = net_level[b]
+            level += 1
+            net_level[out] = level
+            levels.append(level)
+        return levels
+
+    def _compute_fanout_csr(self) -> tuple[list[int], list[int]]:
+        """Net -> reading gates as a CSR pair (index array + flat list)."""
+        counts = [0] * (self.num_nets + 1)
+        for a, b in zip(self.gate_a, self.gate_b):
+            counts[a + 1] += 1
+            if b >= 0:
+                counts[b + 1] += 1
+        for net in range(self.num_nets):
+            counts[net + 1] += counts[net]
+        index = list(counts)
+        flat = [0] * index[self.num_nets]
+        cursor = list(index)
+        for gi, (a, b) in enumerate(zip(self.gate_a, self.gate_b)):
+            flat[cursor[a]] = gi
+            cursor[a] += 1
+            if b >= 0:
+                flat[cursor[b]] = gi
+                cursor[b] += 1
+        return index, flat
+
+    def _compute_schedule(self) -> list[tuple]:
+        """(level, kind)-batched gate groups for the good-sim sweeps.
+
+        Gates inside one level are independent by construction, so
+        grouping them by kind lets :meth:`evaluate` run one specialised
+        loop per batch instead of dispatching per gate.
+        """
+        buckets: dict[tuple[int, int], list[int]] = {}
+        for gi, (level, kind) in enumerate(zip(self.levels, self.kinds)):
+            buckets.setdefault((level, kind), []).append(gi)
+        schedule = []
+        for (_, kind), indices in sorted(buckets.items()):
+            schedule.append(
+                (
+                    kind,
+                    tuple(self.gate_a[gi] for gi in indices),
+                    tuple(self.gate_b[gi] for gi in indices),
+                    tuple(self.gate_out[gi] for gi in indices),
+                )
+            )
+        return schedule
+
+    def _compute_observable(self) -> list[bool]:
+        """Per net: can a change here structurally reach an output net?
+
+        One reverse topological pass (a gate's output net id is always
+        greater than its inputs', so iterating gates backwards settles
+        every net in a single sweep).
+        """
+        observable = [False] * self.num_nets
+        for net in self.netlist.output_nets:
+            observable[net] = True
+        for gi in range(self.num_gates - 1, -1, -1):
+            if observable[self.gate_out[gi]]:
+                observable[self.gate_a[gi]] = True
+                b = self.gate_b[gi]
+                if b >= 0:
+                    observable[b] = True
+        return observable
+
+    # ------------------------------------------------------------------
+    # Cone cache.
+    # ------------------------------------------------------------------
+
+    def cone(self, site: int, truncated: bool = True) -> tuple:
+        """The site's fanout-cone slice, computed once and cached.
+
+        Returns (kind, a, b, out) quads for every gate reachable from
+        ``site``, in ascending gate order (= topological order).  With
+        ``truncated=True`` gates whose output cannot structurally reach
+        an output net are excluded — valid whenever observability is
+        confined to output nets, which :meth:`can_truncate` checks.
+        """
+        cache = self._cones if truncated else self._full_cones
+        cached = cache.get(site)
+        if cached is not None:
+            return cached
+        index, flat = self.fanout_index, self.fanout_gates
+        out_nets = self.gate_out
+        observable = self.observable
+        reached: set[int] = set()
+        pending = [site]
+        seen_nets = {site}
+        while pending:
+            net = pending.pop()
+            for slot in range(index[net], index[net + 1]):
+                gi = flat[slot]
+                if gi in reached:
+                    continue
+                out = out_nets[gi]
+                if truncated and not observable[out]:
+                    continue
+                reached.add(gi)
+                if out not in seen_nets:
+                    seen_nets.add(out)
+                    pending.append(out)
+        kinds, gate_a, gate_b = self.kinds, self.gate_a, self.gate_b
+        cone = tuple(
+            (kinds[gi], gate_a[gi], gate_b[gi], out_nets[gi])
+            for gi in sorted(reached)
+        )
+        cache[site] = cone
+        return cone
+
+    # ------------------------------------------------------------------
+    # Kernels.
+    # ------------------------------------------------------------------
+
+    def evaluate(self, input_values: dict[int, int], mask: int) -> list[int]:
+        """Good simulation over the levelized per-kind schedule.
+
+        Bit-identical to ``Netlist.evaluate`` — same packed value for
+        every net — at a fraction of the dispatch cost.
+        """
+        values = [0] * self.num_nets
+        for net, value in input_values.items():
+            values[net] = value & mask
+        for kind, aa, bb, oo in self.schedule:
+            if kind == _AND:
+                for ai, bi, oi in zip(aa, bb, oo):
+                    values[oi] = values[ai] & values[bi]
+            elif kind == _OR:
+                for ai, bi, oi in zip(aa, bb, oo):
+                    values[oi] = values[ai] | values[bi]
+            elif kind == _BUF:
+                for ai, oi in zip(aa, oo):
+                    values[oi] = values[ai]
+            elif kind == _XNOR:
+                for ai, bi, oi in zip(aa, bb, oo):
+                    values[oi] = ~(values[ai] ^ values[bi]) & mask
+            elif kind == _XOR:
+                for ai, bi, oi in zip(aa, bb, oo):
+                    values[oi] = values[ai] ^ values[bi]
+            elif kind == _NOT:
+                for ai, oi in zip(aa, oo):
+                    values[oi] = ~values[ai] & mask
+            elif kind == _NAND:
+                for ai, bi, oi in zip(aa, bb, oo):
+                    values[oi] = ~(values[ai] & values[bi]) & mask
+            elif kind == _NOR:
+                for ai, bi, oi in zip(aa, bb, oo):
+                    values[oi] = ~(values[ai] | values[bi]) & mask
+            else:  # pragma: no cover - compile lowers known kinds only
+                raise FaultModelError(f"unknown compiled gate kind {kind}")
+        return values
+
+    def observability_vector(self, observability: dict[int, int]) -> list:
+        """Dense per-net observability masks (``None`` = unobserved)."""
+        vector: list = [None] * self.num_nets
+        for net, obs_mask in observability.items():
+            vector[net] = obs_mask
+        return vector
+
+    def can_truncate(self, observability: dict[int, int]) -> bool:
+        """True when every observability mask sits on a net the
+        truncated cones keep (a net that structurally reaches an output
+        net).  False falls back to full cones — never wrong, just
+        slower."""
+        observable = self.observable
+        return all(observable[net] for net in observability)
+
+    def propagate(
+        self,
+        good: list[int],
+        site: int,
+        faulty_site_value: int,
+        mask: int,
+        obs: list,
+        truncated: bool = True,
+    ) -> bool:
+        """Cone-restricted single-fault propagation (one-shot form).
+
+        Same decision as the interpreted ``_propagate`` — True iff a
+        faulty/good difference reaches a net with an observability mask
+        on an observable pattern.  Loops over many faults of one pattern
+        set should use :meth:`propagator` instead, which binds the
+        per-call-invariant state once.
+        """
+        return self.propagator(good, mask, obs, truncated)(
+            site, faulty_site_value
+        )
+
+    def propagator(
+        self, good: list[int], mask: int, obs: list, truncated: bool = True
+    ):
+        """A ``(site, faulty_site_value) -> bool`` propagation closure.
+
+        Cones here average a handful of gates, so per-fault *overhead*
+        — attribute lookups, cone-cache probes, argument shuffling —
+        rivals the propagation work itself.  This factory hoists
+        everything invariant across one pattern set (good values, mask,
+        observability vector, cone cache, stamp buffers) into closure
+        cells, leaving the per-fault call with nothing but the walk.
+        """
+        cones = self._cones if truncated else self._full_cones
+        cones_get = cones.get
+        build = self.cone
+        faulty = self._faulty
+        stamp = self._stamp
+        observable = self.observable
+        # Structurally dead sites (cannot reach any output net) can be
+        # rejected with one list probe — but only under truncation,
+        # where every observability mask provably sits on a live net.
+        check_dead = truncated
+
+        def propagate(site: int, faulty_site_value: int) -> bool:
+            if check_dead and not observable[site]:
+                return False
+            diff = (good[site] ^ faulty_site_value) & mask
+            if not diff:
+                return False
+            site_obs = obs[site]
+            if site_obs is not None and diff & site_obs:
+                return True
+            cone = cones_get(site)
+            if cone is None:
+                cone = build(site, truncated)
+            if not cone:
+                return False
+            epoch = self._epoch + 1
+            self._epoch = epoch
+            faulty[site] = faulty_site_value
+            stamp[site] = epoch
+            for kind, a, b, out in cone:
+                if b < 0:
+                    if stamp[a] != epoch:
+                        continue
+                    value = faulty[a] if kind == _BUF else ~faulty[a] & mask
+                else:
+                    stamped_a = stamp[a] == epoch
+                    stamped_b = stamp[b] == epoch
+                    if not stamped_a and not stamped_b:
+                        continue
+                    av = faulty[a] if stamped_a else good[a]
+                    bv = faulty[b] if stamped_b else good[b]
+                    if kind == _AND:
+                        value = av & bv
+                    elif kind == _OR:
+                        value = av | bv
+                    elif kind == _XNOR:
+                        value = ~(av ^ bv) & mask
+                    elif kind == _XOR:
+                        value = av ^ bv
+                    elif kind == _NAND:
+                        value = ~(av & bv) & mask
+                    else:  # NOR
+                        value = ~(av | bv) & mask
+                good_value = good[out]
+                if value == good_value:
+                    continue
+                faulty[out] = value
+                stamp[out] = epoch
+                out_obs = obs[out]
+                if out_obs is not None and (value ^ good_value) & out_obs:
+                    return True
+            return False
+
+        return propagate
+
+    def stats(self) -> str:
+        cones = len(self._cones) + len(self._full_cones)
+        return (
+            f"{self.netlist.name}: {self.num_gates} gates in "
+            f"{len(self.schedule)} level/kind batches, "
+            f"{sum(self.observable)}/{self.num_nets} observable nets, "
+            f"{cones} cached cones"
+        )
+
+
+def compile_netlist(netlist: Netlist) -> CompiledNetlist:
+    """Lower ``netlist`` to a fresh :class:`CompiledNetlist` (freezes it)."""
+    return CompiledNetlist(netlist)
+
+
+def compiled_for(netlist: Netlist) -> CompiledNetlist:
+    """The netlist's cached compiled artifact (compiled on first use).
+
+    The artifact rides on the netlist instance, so anything holding the
+    netlist — the process-wide module cache in
+    :mod:`repro.faults.generators`, a worker that unpickled one shard's
+    netlist — compiles at most once and every subsequent fault-sim call
+    reuses the arrays, cones and buffers.
+    """
+    cached = getattr(netlist, "_compiled_artifact", None)
+    if cached is None:
+        cached = CompiledNetlist(netlist)
+        netlist._compiled_artifact = cached
+    return cached

@@ -314,6 +314,22 @@ def netlist_for(
     raise ValueError(f"unknown module kind {kind!r} (want one of {MODULE_KINDS})")
 
 
+def compiled_netlist_for(
+    model: CoreModel, kind: str, port: tuple[int, int] | None = None
+):
+    """The compiled artifact of one descriptor's netlist.
+
+    Compiled artifacts are cached on the netlist instances held by the
+    process-wide module cache below, so each worker process lowers each
+    module exactly once however many shards or scenarios it grades —
+    the shard tasks keep shipping descriptors (a few ints), never gate
+    arrays.
+    """
+    from repro.faults.compiled import compiled_for
+
+    return compiled_for(netlist_for(model, kind, port))
+
+
 def fault_list_for(
     model: CoreModel, kind: str, port: tuple[int, int] | None = None
 ) -> list[tuple[StuckAtFault, int]]:

@@ -4,6 +4,15 @@ A :class:`Netlist` is built feed-forward (every gate's inputs must
 already exist when the gate is added), so gate order is a topological
 order by construction — no separate levelisation pass is needed for
 either good simulation or cone propagation.
+
+Once simulation starts a netlist should be :meth:`~Netlist.freeze`-d:
+the compiled engine (:mod:`repro.faults.compiled`) lowers the gate list
+into flat arrays whose validity depends on the structure never changing,
+so freezing turns any late mutation into a loud
+:class:`~repro.errors.FaultModelError` instead of a silently stale
+compile artifact.  The fanout table is maintained incrementally by
+``add_gate`` (it used to be invalidated on every call, forcing a full
+O(gates) rebuild after any post-simulation construction).
 """
 
 from __future__ import annotations
@@ -40,12 +49,36 @@ class Netlist:
     #: lines), for structural tests and diagnostics.
     annotations: dict[str, list[int]] = field(default_factory=dict)
     _fanout: dict[int, list[int]] | None = field(default=None, repr=False)
+    _frozen: bool = field(default=False, repr=False)
 
     # ------------------------------------------------------------------
     # Construction.
     # ------------------------------------------------------------------
 
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
+
+    def freeze(self) -> "Netlist":
+        """Seal the structure; all later mutation raises.
+
+        Compiling a netlist freezes it, so a compiled artifact can never
+        silently go stale — ``add_gate`` after simulation is a bug, and
+        it now fails at the mutation site instead of corrupting results.
+        Freezing is idempotent and returns the netlist for chaining.
+        """
+        self._frozen = True
+        return self
+
+    def _check_mutable(self) -> None:
+        if self._frozen:
+            raise FaultModelError(
+                f"netlist {self.name!r} is frozen (already compiled or "
+                "simulated); late structural mutation is not allowed"
+            )
+
     def new_net(self) -> int:
+        self._check_mutable()
         net = self.num_nets
         self.num_nets += 1
         return net
@@ -61,13 +94,23 @@ class Netlist:
 
     def add_gate(self, kind: GateKind, a: int, b: int = -1) -> int:
         """Add a gate; returns its (new) output net."""
+        self._check_mutable()
         if a >= self.num_nets or (kind not in UNARY and b >= self.num_nets):
             raise FaultModelError("gate input net does not exist yet")
         if kind in UNARY:
             b = -1
         out = self.new_net()
+        index = len(self.gates)
         self.gates.append(Gate(kind, out, a, b))
-        self._fanout = None
+        # Keep the fanout table in lock-step instead of invalidating it:
+        # interleaved build/simulate no longer pays an O(gates) rebuild
+        # per mutation.  The incremental update appends exactly what the
+        # lazy rebuild would (reader indices in gate order, ``a`` first).
+        table = self._fanout
+        if table is not None:
+            table.setdefault(a, []).append(index)
+            if b >= 0:
+                table.setdefault(b, []).append(index)
         return out
 
     def buffer_chain(self, net: int, depth: int) -> int:
@@ -77,6 +120,7 @@ class Netlist:
         return net
 
     def mark_output_bus(self, name: str, nets: list[int]) -> None:
+        self._check_mutable()
         if name in self.outputs:
             raise FaultModelError(f"duplicate output bus {name!r}")
         self.outputs[name] = list(nets)
@@ -158,3 +202,13 @@ class Netlist:
             f"{self.name}: {self.num_nets} nets, {len(self.gates)} gates, "
             f"{len(self.input_nets)} inputs, {len(self.output_nets)} outputs"
         )
+
+    def __getstate__(self):
+        """Drop the cached compile artifact from pickles.
+
+        Shard tasks ship netlists to worker processes; the receiving
+        side recompiles (and instance-caches) on first use, which is
+        cheaper than serialising the flat arrays, cones and buffers."""
+        state = dict(self.__dict__)
+        state.pop("_compiled_artifact", None)
+        return state

@@ -52,7 +52,7 @@ from repro.faults.campaign import (
     run_checkpointed_campaign,
 )
 from repro.faults.netlist import Netlist
-from repro.faults.ppsfp import FaultSimResult, PatternSet, fault_simulate
+from repro.faults.ppsfp import DropSet, FaultSimResult, PatternSet, fault_simulate
 from repro.faults.transition import transition_fault_simulate
 
 __all__ = [
@@ -64,6 +64,7 @@ __all__ = [
     "parallel_transition_fault_simulate",
     "plan_campaign_shards",
     "reduce_results",
+    "resolve_workers",
     "run_parallel_checkpointed_campaign",
     "shard_faults",
     "shard_seed",
@@ -71,6 +72,26 @@ __all__ = [
 ]
 
 MANIFEST_NAME = "manifest.json"
+
+
+def resolve_workers(requested: int | None) -> int:
+    """Clamp a worker count to the host's CPUs (None = all of them).
+
+    A process pool wider than ``os.cpu_count()`` cannot run faster —
+    the extra processes only time-slice the same cores and add fork,
+    pickle and scheduler overhead, which is how a 2-worker run on a
+    single-CPU container ends up *slower* than serial.  The CLI and the
+    benchmarks resolve their worker counts through this helper so
+    oversubscription never happens by default; callers that really want
+    it can still pass an explicit ``workers`` to the engine functions,
+    which do not clamp.
+    """
+    cpus = max(1, os.cpu_count() or 1)
+    if requested is None:
+        return cpus
+    if requested < 1:
+        raise FaultModelError(f"workers must be >= 1, got {requested}")
+    return min(requested, cpus)
 
 
 # ----------------------------------------------------------------------
@@ -210,16 +231,41 @@ class ShardTiming:
         return self.items / self.seconds
 
 
-def _simulate_shard(kind: str, netlist: Netlist, patterns: PatternSet, shard: list):
-    """Process-pool entry point: grade one fault shard serially."""
+def _simulate_shard(
+    kind: str,
+    netlist: Netlist,
+    patterns: PatternSet,
+    shard: list,
+    engine: str = "compiled",
+    dropped_ids: list[str] | None = None,
+):
+    """Process-pool entry point: grade one fault shard serially.
+
+    ``dropped_ids`` carries the caller's :class:`DropSet` content into
+    the worker; the returned third element lists the shard's *new*
+    detections (sorted) so the parent can merge them back.  Because
+    faults are sharded by the same ``stable_id`` the drop set is keyed
+    on, a fault's drop state never crosses shards — any geometry drops
+    exactly like the serial path.
+    """
     start = time.perf_counter()
+    dropped = DropSet(dropped_ids) if dropped_ids is not None else None
     if kind == "stuckat":
-        result = fault_simulate(netlist, patterns, shard)
+        result = fault_simulate(
+            netlist, patterns, shard, engine=engine, dropped=dropped
+        )
     elif kind == "transition":
-        result = transition_fault_simulate(netlist, patterns, shard)
+        result = transition_fault_simulate(
+            netlist, patterns, shard, engine=engine, dropped=dropped
+        )
     else:  # pragma: no cover - guarded by the public wrappers
         raise FaultModelError(f"unknown fault model kind {kind!r}")
-    return result.to_dict(), time.perf_counter() - start
+    new_ids = (
+        sorted(dropped.detected.difference(dropped_ids))
+        if dropped is not None
+        else []
+    )
+    return result.to_dict(), time.perf_counter() - start, new_ids
 
 
 def _parallel_simulate(
@@ -231,29 +277,40 @@ def _parallel_simulate(
     workers: int,
     num_shards: int | None,
     metrics=None,
+    engine: str = "compiled",
+    dropped: DropSet | None = None,
 ) -> FaultSimResult:
     if workers < 1:
         raise FaultModelError(f"workers must be >= 1, got {workers}")
     if workers == 1 and num_shards is None:
         # The exact serial path: same function, same iteration order.
-        return serial(netlist, patterns, faults)
+        return serial(netlist, patterns, faults, engine=engine, dropped=dropped)
     shards = shard_faults(faults, num_shards or workers)
     check_partition(faults, shards)
+    dropped_ids = dropped.sorted_ids() if dropped is not None else None
     timings: list[ShardTiming] = []
     if workers == 1:
-        raw = [_simulate_shard(kind, netlist, patterns, shard) for shard in shards]
+        raw = [
+            _simulate_shard(kind, netlist, patterns, shard, engine, dropped_ids)
+            for shard in shards
+        ]
     else:
         with ProcessPoolExecutor(
             max_workers=min(workers, len(shards)), mp_context=_pool_context()
         ) as pool:
             futures = [
-                pool.submit(_simulate_shard, kind, netlist, patterns, shard)
+                pool.submit(
+                    _simulate_shard, kind, netlist, patterns, shard,
+                    engine, dropped_ids,
+                )
                 for shard in shards
             ]
             raw = [future.result() for future in futures]
     results = []
-    for index, (result_dict, seconds) in enumerate(raw):
+    for index, (result_dict, seconds, new_ids) in enumerate(raw):
         results.append(FaultSimResult.from_dict(result_dict))
+        if dropped is not None:
+            dropped.update(new_ids)
         timings.append(
             ShardTiming(index=index, items=len(shards[index]), seconds=seconds)
         )
@@ -271,6 +328,8 @@ def parallel_fault_simulate(
     workers: int = 1,
     num_shards: int | None = None,
     metrics=None,
+    engine: str = "compiled",
+    dropped: DropSet | None = None,
 ) -> FaultSimResult:
     """Sharded :func:`repro.faults.ppsfp.fault_simulate`.
 
@@ -280,7 +339,9 @@ def parallel_fault_simulate(
     shards over a process pool and merges with
     :func:`reduce_results` — the totals are bit-identical either way.
     ``metrics`` (a :class:`repro.telemetry.MetricsCollector`) receives
-    per-shard timing/throughput host counters when given.
+    per-shard timing/throughput host counters when given.  ``engine``
+    and ``dropped`` pass through to the serial grader in every shard;
+    new drop-set detections are merged back after the pool completes.
     """
     from repro.faults.stuckat import collapse_with_weights
 
@@ -288,7 +349,7 @@ def parallel_fault_simulate(
         faults = collapse_with_weights(netlist)
     return _parallel_simulate(
         "stuckat", fault_simulate, netlist, patterns, list(faults),
-        workers, num_shards, metrics,
+        workers, num_shards, metrics, engine, dropped,
     )
 
 
@@ -300,6 +361,8 @@ def parallel_transition_fault_simulate(
     workers: int = 1,
     num_shards: int | None = None,
     metrics=None,
+    engine: str = "compiled",
+    dropped: DropSet | None = None,
 ) -> FaultSimResult:
     """Sharded :func:`repro.faults.transition.transition_fault_simulate`.
 
@@ -313,7 +376,7 @@ def parallel_transition_fault_simulate(
         faults = enumerate_transition_faults(netlist)
     return _parallel_simulate(
         "transition", transition_fault_simulate, netlist, patterns,
-        list(faults), workers, num_shards, metrics,
+        list(faults), workers, num_shards, metrics, engine, dropped,
     )
 
 
@@ -431,6 +494,7 @@ def _campaign_shard_worker(spec: dict):
         max_cycles=spec["max_cycles"],
         retries=spec["retries"],
         audit=spec["audit"],
+        engine=spec.get("engine", "compiled"),
     )
     return (
         spec["index"],
@@ -474,6 +538,7 @@ def run_parallel_checkpointed_campaign(
     audit: bool = False,
     metrics=None,
     on_shard=None,
+    engine: str = "compiled",
 ) -> ParallelCampaignResult:
     """Sharded, multi-process :func:`run_checkpointed_campaign`.
 
@@ -497,7 +562,10 @@ def run_parallel_checkpointed_campaign(
 
     ``on_shard(index, outcomes)`` fires in the parent as each shard
     completes (kill-injection hook); ``metrics`` receives per-shard
-    timing/throughput host counters.
+    timing/throughput host counters.  ``engine`` selects the
+    fault-simulation kernel inside every worker (compiled by default;
+    results are bit-identical across engines, so resuming a campaign
+    with a different engine than it started with is legal).
     """
     scenarios = tuple(scenarios)
     labels = [scenario.label for scenario in scenarios]
@@ -570,6 +638,7 @@ def run_parallel_checkpointed_campaign(
             "max_cycles": max_cycles,
             "retries": retries,
             "audit": audit,
+            "engine": engine,
         }
         for index in scheduled
     ]

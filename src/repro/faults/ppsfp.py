@@ -6,6 +6,25 @@ run.  One good simulation packs every pattern into bigints; each fault
 then re-evaluates only its downstream cone, and a fault is *detected*
 when a faulty output bit differs from the good value on a pattern where
 that output is observable (reaches the 32-bit test signature).
+
+Two engines share this contract and produce bit-identical results:
+
+* ``engine="compiled"`` (default) — the levelized array kernel of
+  :mod:`repro.faults.compiled`: per-kind batched good simulation,
+  cone-cached propagation, preallocated buffers.
+* ``engine="interpreted"`` — the original per-gate reference path,
+  kept selectable (and continuously differential-tested) both as the
+  correctness oracle and for netlists that are still under
+  construction, since compiling freezes the structure.
+
+Both engines support **fault dropping** through a :class:`DropSet`:
+a registry of detected ``stable_id``s shared across calls (pattern
+blocks, scenarios) of one cumulative grading campaign.  A fault whose
+id is already in the set is credited as detected without simulating —
+the classic fault-dropping optimisation — and because drop decisions
+are keyed by the same ``stable_id`` the deterministic sharder hashes,
+a fault's drop state is confined to the one shard that owns it: serial
+and sharded runs drop identically.
 """
 
 from __future__ import annotations
@@ -14,9 +33,68 @@ import heapq
 from dataclasses import dataclass, field
 
 from repro.errors import FaultModelError
+from repro.faults.compiled import compiled_for
 from repro.faults.netlist import Netlist
 from repro.faults.stuckat import StuckAtFault, collapse_with_weights
 from repro.utils.bitops import mask as bitmask
+
+#: Selectable fault-simulation engines.
+ENGINES = ("compiled", "interpreted")
+
+
+def _check_engine(engine: str) -> None:
+    if engine not in ENGINES:
+        raise FaultModelError(
+            f"unknown engine {engine!r} (choices: {', '.join(ENGINES)})"
+        )
+
+
+class DropSet:
+    """Detected-fault registry for cross-call fault dropping.
+
+    Pass one instance through consecutive :func:`fault_simulate` /
+    :func:`~repro.faults.transition.transition_fault_simulate` calls of
+    a cumulative campaign: every newly detected fault's ``stable_id``
+    is recorded, and faults already present are *dropped* — credited as
+    detected without re-simulating.  Within a single call over a
+    duplicate-free fault list the set never changes the result (each id
+    is seen once), so per-call results stay bit-identical with or
+    without dropping; across calls it implements union semantics
+    ("which faults has the campaign detected so far") at a fraction of
+    the cost.
+
+    Determinism rule: drop decisions are keyed by ``stable_id`` — the
+    exact key :func:`repro.faults.parallel.stable_shard_index` hashes —
+    so a fault's drop state lives entirely in the one shard that owns
+    the fault, and any (workers, num_shards) geometry drops the same
+    faults on the same calls as the serial path.
+    """
+
+    __slots__ = ("_ids",)
+
+    def __init__(self, ids=()):
+        self._ids: set[str] = set(ids)
+
+    def __contains__(self, stable_id: str) -> bool:
+        return stable_id in self._ids
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def add(self, stable_id: str) -> None:
+        self._ids.add(stable_id)
+
+    def update(self, ids) -> None:
+        self._ids.update(ids)
+
+    @property
+    def detected(self) -> frozenset:
+        """The detected ``stable_id``s recorded so far."""
+        return frozenset(self._ids)
+
+    def sorted_ids(self) -> list[str]:
+        """Deterministically ordered ids (for manifests and pickles)."""
+        return sorted(self._ids)
 
 
 @dataclass
@@ -145,6 +223,9 @@ def fault_simulate(
     netlist: Netlist,
     patterns: PatternSet,
     faults: list[StuckAtFault] | list[tuple[StuckAtFault, int]] | None = None,
+    *,
+    engine: str = "compiled",
+    dropped: DropSet | None = None,
 ) -> FaultSimResult:
     """Simulate every fault against the pattern set.
 
@@ -152,7 +233,14 @@ def fault_simulate(
     (fault, class-size) list from :func:`collapse_with_weights`; in the
     weighted form the totals count the full uncollapsed population
     while only one representative per equivalence class is simulated.
+
+    ``engine`` selects the compiled array kernel (default) or the
+    interpreted per-gate reference path — bit-identical results either
+    way.  ``dropped``, when given, enables fault dropping: faults whose
+    ``stable_id`` is already recorded are credited as detected without
+    simulation, and new detections are added to the set.
     """
+    _check_engine(engine)
     if faults is None:
         faults = collapse_with_weights(netlist)
     weighted: list[tuple[StuckAtFault, int]] = [
@@ -162,17 +250,39 @@ def fault_simulate(
         if net >= netlist.num_nets:
             raise FaultModelError(f"observability on unknown net {net}")
     mask = patterns.mask
-    good = good_simulation(netlist, patterns)
     detected = 0
     total = 0
-    for fault, weight in weighted:
-        total += weight
-        faulty_value = 0 if fault.value == 0 else mask
-        if _propagate(
-            netlist, good, fault.net, faulty_value, mask,
-            patterns.output_observability,
-        ):
-            detected += weight
+    if engine == "compiled":
+        compiled = compiled_for(netlist)
+        good = compiled.evaluate(patterns.inputs, mask)
+        obs = compiled.observability_vector(patterns.output_observability)
+        truncated = compiled.can_truncate(patterns.output_observability)
+        propagate = compiled.propagator(good, mask, obs, truncated)
+        for fault, weight in weighted:
+            total += weight
+            if dropped is not None and fault.stable_id in dropped:
+                detected += weight
+                continue
+            faulty_value = 0 if fault.value == 0 else mask
+            if propagate(fault.net, faulty_value):
+                detected += weight
+                if dropped is not None:
+                    dropped.add(fault.stable_id)
+    else:
+        good = good_simulation(netlist, patterns)
+        observability = patterns.output_observability
+        for fault, weight in weighted:
+            total += weight
+            if dropped is not None and fault.stable_id in dropped:
+                detected += weight
+                continue
+            faulty_value = 0 if fault.value == 0 else mask
+            if _propagate(
+                netlist, good, fault.net, faulty_value, mask, observability
+            ):
+                detected += weight
+                if dropped is not None:
+                    dropped.add(fault.stable_id)
     return FaultSimResult(
         module=netlist.name,
         total_faults=total,

@@ -32,8 +32,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.faults.compiled import compiled_for
 from repro.faults.netlist import Netlist
-from repro.faults.ppsfp import FaultSimResult, PatternSet, _propagate, good_simulation
+from repro.faults.ppsfp import (
+    DropSet,
+    FaultSimResult,
+    PatternSet,
+    _check_engine,
+    _propagate,
+    good_simulation,
+)
 
 
 @dataclass(frozen=True)
@@ -67,19 +75,39 @@ def transition_fault_simulate(
     netlist: Netlist,
     patterns: PatternSet,
     faults: list[TransitionFault] | None = None,
+    *,
+    engine: str = "compiled",
+    dropped: DropSet | None = None,
 ) -> FaultSimResult:
     """Grade transition faults against an *ordered* pattern set.
 
     The pattern set must preserve the run's temporal order (build it
     with ``ordered=True``); a deduplicated set would invent adjacencies
     that never happened on the hardware.
+
+    ``engine``/``dropped`` behave exactly as on
+    :func:`repro.faults.ppsfp.fault_simulate`: the compiled kernel is
+    bit-identical to the interpreted path, and a :class:`DropSet`
+    credits already-detected faults without re-simulating them.
     """
+    _check_engine(engine)
     if faults is None:
         faults = enumerate_transition_faults(netlist)
     mask = patterns.mask
-    good = good_simulation(netlist, patterns)
+    if engine == "compiled":
+        compiled = compiled_for(netlist)
+        good = compiled.evaluate(patterns.inputs, mask)
+        obs = compiled.observability_vector(patterns.output_observability)
+        truncated = compiled.can_truncate(patterns.output_observability)
+        propagate = compiled.propagator(good, mask, obs, truncated)
+    else:
+        good = good_simulation(netlist, patterns)
+        propagate = None
     detected = 0
     for fault in faults:
+        if dropped is not None and fault.stable_id in dropped:
+            detected += 1
+            continue
         value = good[fault.net]
         previous = (value << 1) & mask
         if fault.rising:
@@ -89,11 +117,17 @@ def transition_fault_simulate(
         if not launch:
             continue
         faulty_value = value ^ launch
-        if _propagate(
-            netlist, good, fault.net, faulty_value, mask,
-            patterns.output_observability,
-        ):
+        if propagate is not None:
+            hit = propagate(fault.net, faulty_value)
+        else:
+            hit = _propagate(
+                netlist, good, fault.net, faulty_value, mask,
+                patterns.output_observability,
+            )
+        if hit:
             detected += 1
+            if dropped is not None:
+                dropped.add(fault.stable_id)
     return FaultSimResult(
         module=f"{netlist.name}:transition",
         total_faults=len(faults),
