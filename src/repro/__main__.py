@@ -20,6 +20,12 @@ from repro.analysis import (
     table4_tcm_vs_cache,
 )
 
+#: Exit status of ``faultsim`` when a supervised campaign completes
+#: partially (quarantined shards under ``--allow-partial``) — distinct
+#: from 1 (failed scenarios) so scripts can tell "coverage is a lower
+#: bound" from "the campaign found failures".
+EXIT_PARTIAL_CAMPAIGN = 3
+
 EXPERIMENTS = {
     "table1": ("Table I  - multi-core STL stalls", table1_stalls),
     "table2": ("Table II - forwarding FC, no PCs", table2_forwarding),
@@ -198,6 +204,37 @@ def _run_faultsim(argv: list[str]) -> int:
         ),
     )
     parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        help=(
+            "run under the supervised orchestrator: retry each failed "
+            "shard up to N times (deterministic backoff) before "
+            "quarantining it"
+        ),
+    )
+    parser.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=None,
+        help=(
+            "supervised-orchestrator shard deadline in seconds of running "
+            "time; a shard past it is killed and re-dispatched "
+            "(implies the orchestrator; default retry budget applies "
+            "unless --max-retries is given)"
+        ),
+    )
+    parser.add_argument(
+        "--allow-partial",
+        action="store_true",
+        help=(
+            "accept a partial campaign when shards end quarantined: "
+            "print the quarantine roster, report coverage over the "
+            "completed scenarios only, and exit with status "
+            f"{EXIT_PARTIAL_CAMPAIGN} instead of failing"
+        ),
+    )
+    parser.add_argument(
         "--metrics-out",
         default=None,
         help="write the telemetry metrics (incl. per-shard timing) as JSON",
@@ -222,6 +259,20 @@ def _run_faultsim(argv: list[str]) -> int:
             f"note: clamped --workers {args.workers} to {workers} "
             f"(host CPU count)"
         )
+    supervised = (
+        args.max_retries is not None
+        or args.shard_timeout is not None
+        or args.allow_partial
+    )
+    policy = None
+    if supervised:
+        from repro.faults.orchestrator import RetryPolicy
+
+        policy = RetryPolicy(
+            max_retries=2 if args.max_retries is None else args.max_retries,
+            shard_timeout=args.shard_timeout,
+            allow_partial=args.allow_partial,
+        )
     start = time.time()
     with tempfile.TemporaryDirectory() as tmp:
         result = run_parallel_checkpointed_campaign(
@@ -234,8 +285,12 @@ def _run_faultsim(argv: list[str]) -> int:
             num_shards=args.shards,
             engine=args.engine,
             metrics=metrics,
+            policy=policy,
         )
     elapsed = time.time() - start
+    report = getattr(result, "report", None)
+    quarantined_shards = list(getattr(result, "quarantined_shards", ()))
+    quarantined_labels = list(getattr(result, "quarantined_labels", ()))
     failed = sorted(
         label for label, o in result.outcomes.items() if o.failed
     )
@@ -303,6 +358,24 @@ def _run_faultsim(argv: list[str]) -> int:
         )
     if failed:
         print(f"\nquarantined scenarios: {', '.join(failed)}")
+    if report is not None:
+        retried = report.retried_shards
+        print(
+            f"\norchestrator: {len(report.attempts)} shard attempt(s), "
+            f"{len(retried)} shard(s) retried, "
+            f"{report.pool_rebuilds} pool rebuild(s), "
+            f"{report.stragglers} straggler(s)"
+            + (" [degraded to serial]" if report.degraded_serial else "")
+        )
+    if quarantined_shards:
+        print(
+            f"quarantined shards: {quarantined_shards} covering "
+            f"scenario(s): {', '.join(quarantined_labels)}"
+        )
+        print(
+            "coverage below is a LOWER BOUND over the completed "
+            "scenarios only"
+        )
     print(
         f"\n{len(result.outcomes)} scenarios, {len(result.scheduled)} shard(s) "
         f"executed in {elapsed:.1f}s wall-clock"
@@ -321,10 +394,16 @@ def _run_faultsim(argv: list[str]) -> int:
             "failed": failed,
             "coverage_ranges": summary,
         }
+        if report is not None:
+            payload["orchestration"] = report.to_dict()
+            payload["quarantined_shards"] = quarantined_shards
+            payload["quarantined_scenarios"] = quarantined_labels
         with open(args.json_out, "w") as handle:
             json_module.dump(payload, handle, indent=2)
             handle.write("\n")
         print(f"wrote {args.json_out}")
+    if quarantined_shards:
+        return EXIT_PARTIAL_CAMPAIGN
     return 1 if failed else 0
 
 

@@ -137,3 +137,23 @@ class FaultModelError(ReproError):
 
 class CheckpointError(ReproError):
     """A campaign checkpoint file is malformed or incompatible."""
+
+
+class CheckpointCorruptionWarning(UserWarning):
+    """A checkpoint/manifest file failed its integrity check.
+
+    The offending file is preserved as a ``.corrupt`` sidecar and the
+    affected shard restarts from scratch — corruption costs recomputation
+    and a warning, never silent double-counting and never a lost file.
+    """
+
+
+class OrchestrationError(ReproError):
+    """A supervised campaign could not be completed.
+
+    Raised when one or more shards exhausted their retry budget and the
+    caller did not opt into partial completion (``allow_partial``).  The
+    message enumerates the quarantine roster; the
+    :class:`repro.faults.orchestrator.OrchestrationReport` written next
+    to the checkpoint manifest holds the full attempt history.
+    """

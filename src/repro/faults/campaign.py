@@ -11,12 +11,14 @@ from __future__ import annotations
 
 import json
 import os
+import warnings
 from dataclasses import dataclass, field
+from hashlib import blake2b
 from pathlib import Path
 
 from repro.cpu.core import CoreModel
 from repro.cpu.recording import ActivationLog
-from repro.errors import CheckpointError, ReproError
+from repro.errors import CheckpointCorruptionWarning, CheckpointError, ReproError
 from repro.faults.generators import CoreModules, get_modules
 from repro.faults.observability import (
     forwarding_pattern_sets,
@@ -215,6 +217,57 @@ COVERAGE_GRADERS = {
 
 CHECKPOINT_VERSION = 1
 
+#: Sidecar suffix appended to quarantined (corrupt) checkpoint files.
+CORRUPT_SUFFIX = ".corrupt"
+
+
+def content_digest(data: dict) -> str:
+    """Content digest of a checkpoint/manifest payload.
+
+    Computed over the canonical JSON of the payload *without* its
+    ``digest`` field, so the digest can be embedded in the same file it
+    protects.  blake2b/128-bit: collision-resistance against silent
+    disk/fs corruption, not an adversary.
+    """
+    payload = {key: value for key, value in data.items() if key != "digest"}
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return blake2b(canonical.encode("utf-8"), digest_size=16).hexdigest()
+
+
+def quarantine_corrupt_file(path: Path, reason: str) -> Path:
+    """Move a corrupt file to a ``.corrupt`` sidecar and warn.
+
+    The bytes are preserved for post-mortem (never silently deleted),
+    the original path is freed so the owning shard can start fresh, and
+    the warning makes the silent-restart failure mode impossible: a
+    resume that lost state always says why.  Returns the sidecar path.
+    """
+    sidecar = path.with_name(path.name + CORRUPT_SUFFIX)
+    os.replace(path, sidecar)
+    warnings.warn(
+        f"{path} failed its integrity check ({reason}); moved to "
+        f"{sidecar.name} and restarting that shard from scratch",
+        CheckpointCorruptionWarning,
+        stacklevel=3,
+    )
+    return sidecar
+
+
+def verify_payload(path: Path, data: dict) -> str | None:
+    """Return a corruption reason for a loaded payload, or None if OK.
+
+    A missing digest is accepted (pre-checksum files remain loadable);
+    a present-but-wrong digest is corruption — the valid-JSON tamper
+    case that no parse error can catch.
+    """
+    recorded = data.get("digest")
+    if recorded is None:
+        return None
+    expected = content_digest(data)
+    if recorded != expected:
+        return f"digest mismatch (recorded {recorded}, computed {expected})"
+    return None
+
 
 @dataclass
 class ScenarioOutcome:
@@ -274,10 +327,27 @@ class CampaignCheckpoint:
             self._load()
 
     def _load(self) -> None:
+        """Load and verify the checkpoint file.
+
+        Unreadable bytes, invalid JSON or a content-digest mismatch are
+        *corruption*: the file is quarantined to a ``.corrupt`` sidecar
+        with a :class:`CheckpointCorruptionWarning` and this checkpoint
+        starts empty — the shard recomputes, the evidence survives.
+        Version or module mismatches are *caller errors* and still
+        raise :class:`CheckpointError`: mixing incompatible campaigns
+        must never be papered over by a silent restart.
+        """
         try:
             data = json.loads(self.path.read_text())
-        except (OSError, json.JSONDecodeError) as exc:
-            raise CheckpointError(f"unreadable checkpoint {self.path}: {exc}")
+        # ValueError covers JSONDecodeError and the UnicodeDecodeError
+        # that non-UTF-8 garbage raises before the parser even runs.
+        except (OSError, ValueError) as exc:
+            quarantine_corrupt_file(self.path, f"unreadable: {exc}")
+            return
+        reason = verify_payload(self.path, data)
+        if reason is not None:
+            quarantine_corrupt_file(self.path, reason)
+            return
         if data.get("version") != CHECKPOINT_VERSION:
             raise CheckpointError(
                 f"checkpoint {self.path} has version {data.get('version')!r}, "
@@ -322,6 +392,7 @@ class CampaignCheckpoint:
             "modules": list(self.modules),
             "scenarios": [o.to_dict() for o in self.outcomes.values()],
         }
+        data["digest"] = content_digest(data)
         # The temp name carries the pid so two processes pointed at the
         # same checkpoint path can never tear each other's staging file;
         # fsync-before-rename makes the rename a real commit point even

@@ -1,0 +1,975 @@
+"""Supervised, fault-tolerant orchestration of sharded fault campaigns.
+
+PR 1 gave the *simulated SoC* a supervised test manager: retry a failed
+routine, quarantine a persistent failure, report instead of aborting.
+This module applies the identical discipline one layer up, to the
+campaign infrastructure itself — because on a real shared machine the
+process pool is exactly as failure-prone as the silicon the paper
+worries about.  The orchestrator wraps the sharded engines of
+:mod:`repro.faults.parallel` with:
+
+* **Bounded, deterministic retry.**  A failed shard is re-dispatched up
+  to ``max_retries`` times behind an exponential-backoff delay whose
+  jitter is *seeded* (blake2b of ``(seed, shard, failure)``) — the
+  schedule is a pure function, reproducible run to run, and backoff
+  affects only wall-clock, never results.
+* **Pool-death recovery with attribution.**  A
+  :class:`~concurrent.futures.process.BrokenProcessPool` condemns every
+  in-flight future, so the guilty shard is unknowable.  The orchestrator
+  rebuilds the pool and re-dispatches the suspects **in isolation** (one
+  at a time): an innocent shard completes and is exonerated without a
+  counted failure; a shard that breaks the pool again while alone is the
+  culprit and its retry budget is charged.  No innocent shard can be
+  quarantined by a neighbour's crash.
+* **Straggler re-dispatch.**  With a ``shard_timeout``, a shard running
+  past its deadline is declared hung: the pool is torn down (a running
+  future cannot be cancelled), the straggler is charged one failure, and
+  every other in-flight shard is re-dispatched uncharged.  Shard
+  checkpoints make the re-run cheap; determinism makes it invisible.
+* **Graceful degradation.**  More than ``max_pool_rebuilds`` rebuilds
+  means the host cannot sustain a pool at all — the orchestrator
+  finishes the remaining shards serially in-process (where chaos-style
+  process failures downgrade to ordinary exceptions) rather than
+  flailing.
+* **Quarantine, not abort.**  A shard that exhausts its budget is
+  quarantined; the campaign completes and returns a
+  :class:`PartialCampaignResult` that *enumerates* the loss — coverage
+  becomes an explicit lower bound — or raises
+  :class:`~repro.errors.OrchestrationError` when the caller did not opt
+  into partial completion.
+
+Every decision emits a typed telemetry event (``shard.retry``,
+``shard.straggler``, ``shard.quarantine``, ``pool.rebuild``) through the
+:class:`~repro.telemetry.events.EventSink` contract, and a structured
+:class:`OrchestrationReport` lands next to the checkpoint manifest.
+
+The headline invariant, enforced by the chaos suite
+(``tests/test_orchestrator_chaos.py`` with
+:mod:`repro.faults.chaos`): whenever no shard ends quarantined, merged
+results and campaign signatures are **bit-identical** to a clean run —
+retries, rebuilds and straggler kills are invisible in the numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from hashlib import blake2b
+from pathlib import Path
+
+from repro.errors import FaultModelError, OrchestrationError
+from repro.faults.campaign import ScenarioOutcome
+from repro.faults.parallel import (
+    ParallelCampaignResult,
+    ShardTiming,
+    _campaign_shard_worker,
+    _merge_campaign_outcomes,
+    _pool_context,
+    _prepare_campaign,
+    _record_shard_metrics,
+    _shard_spec,
+    _simulate_shard,
+    check_partition,
+    reduce_results,
+    shard_faults,
+)
+from repro.faults.ppsfp import DropSet, FaultSimResult
+from repro.telemetry.events import NULL_SINK, EventKind
+
+__all__ = [
+    "ORCHESTRATION_REPORT_NAME",
+    "OrchestratedSimResult",
+    "OrchestrationReport",
+    "PartialCampaignResult",
+    "RetryPolicy",
+    "ShardAttempt",
+    "orchestrated_fault_simulate",
+    "orchestrated_transition_fault_simulate",
+    "run_supervised_campaign",
+]
+
+#: Report filename, written next to the campaign's ``manifest.json``.
+ORCHESTRATION_REPORT_NAME = "orchestration_report.json"
+
+
+# ----------------------------------------------------------------------
+# Policy: how hard to try, and for exactly how long.
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry/backoff/deadline budget of one supervised run.
+
+    ``max_retries`` is per shard: a shard may run ``max_retries + 1``
+    times before quarantine.  The backoff before failure *k*'s re-run is
+    ``min(base * factor**(k-1) * (1 + jitter), backoff_max)`` with
+    ``jitter`` in [0, 1) derived from blake2b of ``(seed, shard, k)`` —
+    fully deterministic, de-synchronised across shards, and free of
+    wall-clock randomness in anything a result depends on.
+
+    ``shard_timeout`` (seconds of *running* time, None = no deadline)
+    arms straggler detection; ``max_pool_rebuilds`` bounds pool
+    resurrection before degrading to in-process serial execution;
+    ``allow_partial`` turns quarantine from an
+    :class:`~repro.errors.OrchestrationError` into an explicit
+    :class:`PartialCampaignResult`.
+    """
+
+    max_retries: int = 2
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 30.0
+    seed: int = 0
+    shard_timeout: float | None = None
+    poll_interval: float = 0.05
+    max_pool_rebuilds: int = 3
+    allow_partial: bool = False
+
+    def __post_init__(self):
+        if self.max_retries < 0:
+            raise FaultModelError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.shard_timeout is not None and self.shard_timeout <= 0:
+            raise FaultModelError(
+                f"shard_timeout must be positive, got {self.shard_timeout}"
+            )
+
+    def backoff_delay(self, shard_index: int, failure: int) -> float:
+        """Deterministic delay before re-running after failure ``failure``."""
+        if failure < 1 or self.backoff_base <= 0.0:
+            return 0.0
+        digest = blake2b(
+            f"{self.seed}:{shard_index}:{failure}".encode("utf-8"),
+            digest_size=8,
+        ).digest()
+        jitter = int.from_bytes(digest, "big") / 2**64
+        raw = self.backoff_base * self.backoff_factor ** (failure - 1)
+        return min(raw * (1.0 + jitter), self.backoff_max)
+
+    def backoff_schedule(self, shard_index: int) -> list[float]:
+        """The full per-shard delay schedule (one entry per retry)."""
+        return [
+            self.backoff_delay(shard_index, failure)
+            for failure in range(1, self.max_retries + 1)
+        ]
+
+    def to_dict(self) -> dict:
+        return {
+            "max_retries": self.max_retries,
+            "backoff_base": self.backoff_base,
+            "backoff_factor": self.backoff_factor,
+            "backoff_max": self.backoff_max,
+            "seed": self.seed,
+            "shard_timeout": self.shard_timeout,
+            "max_pool_rebuilds": self.max_pool_rebuilds,
+            "allow_partial": self.allow_partial,
+        }
+
+
+# ----------------------------------------------------------------------
+# Reporting: every decision the orchestrator made, machine-readable.
+# ----------------------------------------------------------------------
+
+@dataclass
+class ShardAttempt:
+    """One dispatch of one shard and how it ended."""
+
+    shard: int
+    attempt: int
+    #: "ok" | "error" | "pool-broken" | "timeout"
+    status: str
+    error: str | None = None
+    seconds: float = 0.0
+    #: Backoff scheduled before the *next* attempt (0.0 if none).
+    backoff: float = 0.0
+    in_process: bool = False
+
+    def to_dict(self) -> dict:
+        return {
+            "shard": self.shard,
+            "attempt": self.attempt,
+            "status": self.status,
+            "error": self.error,
+            "seconds": self.seconds,
+            "backoff": self.backoff,
+            "in_process": self.in_process,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ShardAttempt":
+        return cls(**data)
+
+
+@dataclass
+class OrchestrationReport:
+    """Structured record of a supervised run's control decisions.
+
+    Saved as JSON next to the checkpoint manifest.  ``stable_dict``
+    strips the wall-clock fields so chaos tests can assert that the
+    *decision sequence* (attempts, statuses, backoff schedule,
+    quarantine roster) is deterministic even though timings are not.
+    """
+
+    num_shards: int
+    workers: int
+    attempts: list[ShardAttempt] = field(default_factory=list)
+    quarantined: list[int] = field(default_factory=list)
+    pool_rebuilds: int = 0
+    stragglers: int = 0
+    degraded_serial: bool = False
+    policy: dict = field(default_factory=dict)
+    #: shard index -> the deterministic backoff schedule it drew from.
+    backoff: dict[int, list[float]] = field(default_factory=dict)
+
+    @property
+    def retried_shards(self) -> list[int]:
+        return sorted({a.shard for a in self.attempts if a.status != "ok"})
+
+    def to_dict(self) -> dict:
+        return {
+            "num_shards": self.num_shards,
+            "workers": self.workers,
+            "attempts": [a.to_dict() for a in self.attempts],
+            "quarantined": list(self.quarantined),
+            "pool_rebuilds": self.pool_rebuilds,
+            "stragglers": self.stragglers,
+            "degraded_serial": self.degraded_serial,
+            "policy": dict(self.policy),
+            "backoff": {str(k): v for k, v in sorted(self.backoff.items())},
+        }
+
+    def stable_dict(self) -> dict:
+        """The deterministic projection of the decision sequence.
+
+        Drops wall-clock fields and sorts attempts by (shard, attempt):
+        pool scheduling perturbs *completion order* (hence append
+        order), but each shard's own attempt sequence — how many times
+        it ran, with what status, behind what backoff — is a pure
+        function of the chaos policy and the retry policy.  Two runs
+        under the same policies must produce equal stable dicts.
+        """
+        data = self.to_dict()
+        for attempt in data["attempts"]:
+            attempt.pop("seconds", None)
+        data["attempts"].sort(key=lambda a: (a["shard"], a["attempt"]))
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "OrchestrationReport":
+        return cls(
+            num_shards=data["num_shards"],
+            workers=data["workers"],
+            attempts=[ShardAttempt.from_dict(a) for a in data["attempts"]],
+            quarantined=list(data["quarantined"]),
+            pool_rebuilds=data["pool_rebuilds"],
+            stragglers=data["stragglers"],
+            degraded_serial=data["degraded_serial"],
+            policy=dict(data["policy"]),
+            backoff={int(k): list(v) for k, v in data.get("backoff", {}).items()},
+        )
+
+    def save(self, path: str | Path) -> None:
+        path = Path(path)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        os.replace(tmp, path)
+
+
+@dataclass
+class PartialCampaignResult(ParallelCampaignResult):
+    """A supervised campaign's outcome, quarantine roster included.
+
+    ``outcomes`` covers exactly the scenarios whose shards completed;
+    ``quarantined_labels`` enumerates the rest, so any coverage computed
+    from this result is an explicit *lower bound* over an explicit
+    denominator — never a silently shrunken campaign.
+    """
+
+    quarantined_shards: tuple[int, ...] = ()
+    quarantined_labels: tuple[str, ...] = ()
+    report: OrchestrationReport | None = None
+
+    @property
+    def complete(self) -> bool:
+        return not self.quarantined_shards
+
+
+@dataclass(frozen=True)
+class OrchestratedSimResult:
+    """Supervised fault-simulation outcome.
+
+    With quarantined shards, ``result`` counts their faults in
+    ``total_faults`` with zero detections — coverage is a true lower
+    bound (the real coverage can only be higher).
+    """
+
+    result: FaultSimResult
+    report: OrchestrationReport
+    quarantined_shards: tuple[int, ...] = ()
+    #: Weighted fault population of the quarantined shards.
+    quarantined_faults: int = 0
+
+    @property
+    def complete(self) -> bool:
+        return not self.quarantined_shards
+
+
+# ----------------------------------------------------------------------
+# The supervised scheduler itself.
+# ----------------------------------------------------------------------
+
+class _ShardState:
+    __slots__ = ("index", "failures", "done", "quarantined", "ready_at", "suspect")
+
+    def __init__(self, index: int):
+        self.index = index
+        self.failures = 0
+        self.done = False
+        self.quarantined = False
+        #: monotonic() before which this shard must not be dispatched.
+        self.ready_at = 0.0
+        #: True after an unattributed pool break: run isolated next.
+        self.suspect = False
+
+
+def _supervise(
+    indices,
+    submit,
+    run_inline,
+    workers: int,
+    policy: RetryPolicy,
+    telemetry,
+    report: OrchestrationReport,
+    on_complete,
+) -> None:
+    """Run every shard in ``indices`` to done-or-quarantined.
+
+    ``submit(pool, index, attempt)`` dispatches one shard attempt into
+    the pool; ``run_inline(index, attempt)`` is the in-process fallback
+    for degraded mode; ``on_complete(index, raw)`` receives each shard's
+    raw worker return exactly once.  The caller merges results in shard
+    order afterwards, so completion order — the one thing chaos *does*
+    perturb — never reaches a result.
+    """
+    states = {index: _ShardState(index) for index in indices}
+    if not states:
+        return
+    sink = telemetry if telemetry is not None else NULL_SINK
+    pool: ProcessPoolExecutor | None = None
+    #: Future -> (state, attempt, submitted_at, isolated)
+    in_flight: dict = {}
+    #: Future -> monotonic() when first observed running (deadline base).
+    running_since: dict = {}
+    degraded = False
+
+    def incomplete():
+        return [
+            s for s in states.values() if not s.done and not s.quarantined
+        ]
+
+    def new_pool():
+        nonlocal pool
+        pool = ProcessPoolExecutor(
+            max_workers=min(workers, max(1, len(states))),
+            mp_context=_pool_context(),
+        )
+
+    def kill_pool():
+        nonlocal pool
+        if pool is None:
+            return
+        # Running futures cannot be cancelled and a hung worker never
+        # returns, so reclamation is forcible: drop queued work, then
+        # terminate the worker processes outright.  Shard checkpoints
+        # commit via fsync+rename *before* a future resolves, so a
+        # terminated worker can lose at most in-progress (re-runnable)
+        # work, never recorded work.
+        processes = list((getattr(pool, "_processes", None) or {}).values())
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # pragma: no cover - defensive
+            pass
+        for process in processes:
+            try:
+                process.terminate()
+            except Exception:  # pragma: no cover - already dead
+                pass
+        pool = None
+
+    def rebuild_pool(reason: str):
+        nonlocal degraded
+        kill_pool()
+        report.pool_rebuilds += 1
+        if sink.enabled:
+            sink.emit(
+                EventKind.POOL_REBUILD,
+                reason=reason,
+                rebuilds=report.pool_rebuilds,
+            )
+        if report.pool_rebuilds > policy.max_pool_rebuilds:
+            degraded = True
+            report.degraded_serial = True
+        else:
+            new_pool()
+
+    def record_success(state, attempt, seconds, raw, in_process=False):
+        report.attempts.append(
+            ShardAttempt(
+                shard=state.index,
+                attempt=attempt,
+                status="ok",
+                seconds=seconds,
+                in_process=in_process,
+            )
+        )
+        state.done = True
+        state.suspect = False
+        on_complete(state.index, raw)
+
+    def record_failure(state, status, error, seconds, in_process=False):
+        state.failures += 1
+        failure = state.failures
+        report.backoff.setdefault(
+            state.index, policy.backoff_schedule(state.index)
+        )
+        if failure > policy.max_retries:
+            state.quarantined = True
+            report.attempts.append(
+                ShardAttempt(
+                    shard=state.index,
+                    attempt=failure,
+                    status=status,
+                    error=error,
+                    seconds=seconds,
+                    in_process=in_process,
+                )
+            )
+            report.quarantined.append(state.index)
+            if sink.enabled:
+                sink.emit(
+                    EventKind.SHARD_QUARANTINE,
+                    shard=state.index,
+                    attempts=failure,
+                    error=error,
+                )
+            return
+        delay = policy.backoff_delay(state.index, failure)
+        state.ready_at = time.monotonic() + delay
+        report.attempts.append(
+            ShardAttempt(
+                shard=state.index,
+                attempt=failure,
+                status=status,
+                error=error,
+                seconds=seconds,
+                backoff=delay,
+                in_process=in_process,
+            )
+        )
+        if sink.enabled:
+            sink.emit(
+                EventKind.SHARD_RETRY,
+                shard=state.index,
+                attempt=failure,
+                delay=delay,
+                error=error,
+            )
+
+    def try_submit(state, isolated: bool) -> bool:
+        attempt = state.failures + 1
+        try:
+            future = submit(pool, state.index, attempt)
+        except Exception:
+            # The pool died between our last look and this submit; the
+            # guilty party is someone already in flight, not this shard.
+            for flying_state, _, _, _ in in_flight.values():
+                flying_state.suspect = True
+            state.suspect = True
+            in_flight.clear()
+            running_since.clear()
+            rebuild_pool("submit-failed")
+            return False
+        in_flight[future] = (state, attempt, time.monotonic(), isolated)
+        return True
+
+    def run_degraded():
+        # In-process serial endgame: no pool to break, no deadline to
+        # enforce (a blocking call cannot be preempted from within);
+        # retry/backoff/quarantine semantics are unchanged and chaos
+        # downgrades process misbehaviour to raised exceptions.
+        for state in sorted(incomplete(), key=lambda s: s.index):
+            while not state.done and not state.quarantined:
+                delay = state.ready_at - time.monotonic()
+                if delay > 0:
+                    time.sleep(delay)
+                attempt = state.failures + 1
+                start = time.perf_counter()
+                try:
+                    raw = run_inline(state.index, attempt)
+                except Exception as exc:
+                    record_failure(
+                        state,
+                        "error",
+                        f"{type(exc).__name__}: {exc}",
+                        time.perf_counter() - start,
+                        in_process=True,
+                    )
+                else:
+                    record_success(
+                        state, attempt, time.perf_counter() - start, raw,
+                        in_process=True,
+                    )
+
+    new_pool()
+    try:
+        while True:
+            remaining = incomplete()
+            if not remaining:
+                break
+            if degraded:
+                run_degraded()
+                break
+            now = time.monotonic()
+            flying = {state.index for state, _, _, _ in in_flight.values()}
+            idle = [s for s in remaining if s.index not in flying]
+            if any(s.suspect for s in remaining):
+                # Isolation mode: one suspect at a time, nothing else in
+                # flight, so the next pool break is attributable.
+                if not in_flight:
+                    ready = sorted(
+                        (s for s in idle if s.suspect and s.ready_at <= now),
+                        key=lambda s: s.index,
+                    )
+                    if ready:
+                        if not try_submit(ready[0], isolated=True):
+                            continue
+                    else:
+                        wake = min(
+                            s.ready_at for s in idle if s.suspect
+                        )
+                        time.sleep(
+                            min(
+                                max(0.0, wake - now),
+                                max(policy.poll_interval, 0.01),
+                            )
+                        )
+                        continue
+            else:
+                dispatched_ok = True
+                for state in sorted(
+                    (s for s in idle if s.ready_at <= now),
+                    key=lambda s: s.index,
+                ):
+                    if not try_submit(state, isolated=False):
+                        dispatched_ok = False
+                        break
+                if not dispatched_ok:
+                    continue
+            if not in_flight:
+                # Everything alive is waiting out a backoff window.
+                waiting = [s for s in incomplete() if s.ready_at > now]
+                if waiting:
+                    wake = min(s.ready_at for s in waiting)
+                    time.sleep(
+                        min(
+                            max(0.0, wake - now),
+                            max(policy.poll_interval, 0.01),
+                        )
+                    )
+                continue
+            done, _ = wait(
+                set(in_flight),
+                timeout=policy.poll_interval,
+                return_when=FIRST_COMPLETED,
+            )
+            now = time.monotonic()
+            broken = False
+            for future in done:
+                state, attempt, submitted, isolated = in_flight.pop(future)
+                seconds = now - running_since.pop(future, submitted)
+                try:
+                    raw = future.result()
+                except BrokenProcessPool as exc:
+                    if isolated:
+                        # Alone in the pool: the break is this shard's.
+                        record_failure(
+                            state,
+                            "pool-broken",
+                            f"{type(exc).__name__}: {exc}" or "pool broke",
+                            seconds,
+                        )
+                        rebuild_pool("isolated-break")
+                    else:
+                        state.suspect = True
+                        broken = True
+                except Exception as exc:
+                    # Ordinary failure: the pool survived, so the blame
+                    # is precise and the shard is no longer a suspect
+                    # for *pool* crimes — but it burned an attempt.
+                    record_failure(
+                        state,
+                        "error",
+                        f"{type(exc).__name__}: {exc}",
+                        seconds,
+                    )
+                else:
+                    record_success(state, attempt, seconds, raw)
+            if broken:
+                # The pool is condemned: everyone still in flight is a
+                # suspect (uncharged) and will re-run in isolation.
+                for state, _, _, _ in in_flight.values():
+                    state.suspect = True
+                in_flight.clear()
+                running_since.clear()
+                rebuild_pool("broken")
+                continue
+            # Straggler detection: deadlines accrue only while the
+            # future is actually *running* — a shard queued behind a
+            # busy pool is patient, not hung.
+            if policy.shard_timeout is not None and in_flight:
+                for future in in_flight:
+                    if future not in running_since and future.running():
+                        running_since[future] = now
+                overdue = [
+                    (future, state)
+                    for future, (state, _, _, _) in in_flight.items()
+                    if future in running_since
+                    and now - running_since[future] > policy.shard_timeout
+                ]
+                if overdue:
+                    report.stragglers += len(overdue)
+                    overdue_states = {state.index for _, state in overdue}
+                    for future, state in overdue:
+                        if sink.enabled:
+                            sink.emit(
+                                EventKind.SHARD_STRAGGLER,
+                                shard=state.index,
+                                seconds=now - running_since[future],
+                                deadline=policy.shard_timeout,
+                            )
+                        record_failure(
+                            state,
+                            "timeout",
+                            f"exceeded {policy.shard_timeout}s shard deadline",
+                            now - running_since[future],
+                        )
+                    # The only way to stop a running future is to kill
+                    # its pool; innocents re-dispatch uncharged and
+                    # unsuspected (the cause is known: not them).
+                    in_flight.clear()
+                    running_since.clear()
+                    rebuild_pool("straggler")
+    finally:
+        kill_pool()
+    report.quarantined.sort()
+
+
+def _record_orchestrator_metrics(metrics, report: OrchestrationReport) -> None:
+    if metrics is None:
+        return
+    failures = sum(1 for a in report.attempts if a.status != "ok")
+    metrics.record_host("faultsim.orchestrator.attempts", len(report.attempts))
+    metrics.record_host("faultsim.orchestrator.failures", failures)
+    metrics.record_host(
+        "faultsim.orchestrator.quarantined", len(report.quarantined)
+    )
+    metrics.record_host(
+        "faultsim.orchestrator.pool_rebuilds", report.pool_rebuilds
+    )
+    metrics.record_host("faultsim.orchestrator.stragglers", report.stragglers)
+    metrics.record_host(
+        "faultsim.orchestrator.degraded_serial", int(report.degraded_serial)
+    )
+
+
+# ----------------------------------------------------------------------
+# Supervised sharded fault simulation (stuck-at / transition models).
+# ----------------------------------------------------------------------
+
+def _weighted_count(shard) -> int:
+    """Weighted fault population of one shard (weights default to 1)."""
+    return sum(
+        item[1] if isinstance(item, tuple) else 1 for item in shard
+    )
+
+
+def _orchestrated_simulate(
+    kind: str,
+    netlist,
+    patterns,
+    faults: list,
+    workers: int,
+    num_shards: int | None,
+    policy: RetryPolicy,
+    chaos,
+    telemetry,
+    metrics,
+    engine: str,
+    dropped: DropSet | None,
+) -> OrchestratedSimResult:
+    shards = shard_faults(faults, num_shards or max(1, workers))
+    check_partition(faults, shards)
+    dropped_ids = dropped.sorted_ids() if dropped is not None else None
+    report = OrchestrationReport(
+        num_shards=len(shards), workers=workers, policy=policy.to_dict()
+    )
+    raw_results: dict[int, tuple] = {}
+
+    def submit(pool, index, attempt):
+        return pool.submit(
+            _simulate_shard, kind, netlist, patterns, shards[index],
+            engine, dropped_ids, chaos, index, attempt, False,
+        )
+
+    def run_inline(index, attempt):
+        return _simulate_shard(
+            kind, netlist, patterns, shards[index], engine, dropped_ids,
+            chaos, index, attempt, True,
+        )
+
+    def on_complete(index, raw):
+        raw_results[index] = raw
+
+    _supervise(
+        range(len(shards)), submit, run_inline, workers, policy,
+        telemetry, report, on_complete,
+    )
+
+    quarantined = tuple(report.quarantined)
+    if quarantined and not policy.allow_partial:
+        _record_orchestrator_metrics(metrics, report)
+        raise OrchestrationError(
+            f"{kind} fault simulation quarantined shards "
+            f"{list(quarantined)} after exhausting "
+            f"{policy.max_retries + 1} attempts each "
+            "(pass allow_partial=True for a lower-bound result)"
+        )
+    if not raw_results:
+        raise OrchestrationError(
+            f"{kind} fault simulation completed no shard at all; "
+            "a fully-quarantined run carries no information to return"
+        )
+    results = []
+    timings = []
+    for index in sorted(raw_results):
+        result_dict, seconds, new_ids = raw_results[index]
+        results.append(FaultSimResult.from_dict(result_dict))
+        if dropped is not None:
+            dropped.update(new_ids)
+        timings.append(
+            ShardTiming(
+                index=index, items=len(shards[index]), seconds=seconds
+            )
+        )
+    merged = reduce_results(results)
+    quarantined_faults = sum(_weighted_count(shards[i]) for i in quarantined)
+    if quarantined_faults:
+        # Fold the lost shards in as undetected: the reported coverage
+        # is a floor over the full fault population, not a rosy figure
+        # over a quietly shrunken one.
+        merged = merged.merge(
+            FaultSimResult(
+                module=merged.module,
+                total_faults=quarantined_faults,
+                detected_faults=0,
+                num_patterns=merged.num_patterns,
+            )
+        )
+    _record_shard_metrics(metrics, f"faultsim.{kind}", timings)
+    _record_orchestrator_metrics(metrics, report)
+    return OrchestratedSimResult(
+        result=merged,
+        report=report,
+        quarantined_shards=quarantined,
+        quarantined_faults=quarantined_faults,
+    )
+
+
+def orchestrated_fault_simulate(
+    netlist,
+    patterns,
+    faults=None,
+    *,
+    workers: int = 1,
+    num_shards: int | None = None,
+    policy: RetryPolicy | None = None,
+    chaos=None,
+    telemetry=None,
+    metrics=None,
+    engine: str = "compiled",
+    dropped: DropSet | None = None,
+) -> OrchestratedSimResult:
+    """Supervised :func:`repro.faults.parallel.parallel_fault_simulate`.
+
+    Same sharding, same merge, same bit-identical totals — plus the
+    retry/rebuild/straggler/quarantine supervision documented on this
+    module.  ``workers=1`` still runs through a (single-worker) pool so
+    a crashing shard is recoverable rather than fatal.
+    """
+    from repro.faults.stuckat import collapse_with_weights
+
+    if faults is None:
+        faults = collapse_with_weights(netlist)
+    return _orchestrated_simulate(
+        "stuckat", netlist, patterns, list(faults), workers, num_shards,
+        policy or RetryPolicy(), chaos, telemetry, metrics, engine, dropped,
+    )
+
+
+def orchestrated_transition_fault_simulate(
+    netlist,
+    patterns,
+    faults=None,
+    *,
+    workers: int = 1,
+    num_shards: int | None = None,
+    policy: RetryPolicy | None = None,
+    chaos=None,
+    telemetry=None,
+    metrics=None,
+    engine: str = "compiled",
+    dropped: DropSet | None = None,
+) -> OrchestratedSimResult:
+    """Supervised transition-delay variant (ordered pattern sets)."""
+    from repro.faults.transition import enumerate_transition_faults
+
+    if faults is None:
+        faults = enumerate_transition_faults(netlist)
+    return _orchestrated_simulate(
+        "transition", netlist, patterns, list(faults), workers, num_shards,
+        policy or RetryPolicy(), chaos, telemetry, metrics, engine, dropped,
+    )
+
+
+# ----------------------------------------------------------------------
+# Supervised checkpointed campaigns.
+# ----------------------------------------------------------------------
+
+def run_supervised_campaign(
+    builders_provider,
+    scenarios,
+    models,
+    checkpoint_dir: str | Path,
+    modules: tuple[str, ...] = ("FWD",),
+    *,
+    workers: int = 1,
+    num_shards: int | None = None,
+    max_cycles: int = 4_000_000,
+    retries: int = 1,
+    audit: bool = False,
+    metrics=None,
+    on_shard=None,
+    engine: str = "compiled",
+    policy: RetryPolicy | None = None,
+    chaos=None,
+    telemetry=None,
+) -> PartialCampaignResult:
+    """Supervised :func:`repro.faults.parallel.run_parallel_checkpointed_campaign`.
+
+    Rides the same manifest/per-shard-checkpoint machinery (and the same
+    resume semantics, any worker count), but every shard runs under the
+    :class:`RetryPolicy` budget: failures retry with deterministic
+    backoff, a broken pool is rebuilt with isolation-mode blame
+    attribution, a hung shard is re-dispatched after ``shard_timeout``,
+    and persistent failure quarantines the shard.  Because shard
+    checkpoints commit scenario-by-scenario, a retried shard resumes
+    mid-shard and never re-grades (or double-counts) a recorded
+    scenario — which is why a chaos run merges bit-identically to a
+    clean one.
+
+    The :class:`OrchestrationReport` is written to
+    ``<checkpoint_dir>/orchestration_report.json`` in every case,
+    including the failure path.  With quarantined shards the function
+    raises :class:`~repro.errors.OrchestrationError` unless
+    ``policy.allow_partial``; with ``allow_partial`` it returns a
+    :class:`PartialCampaignResult` whose quarantine roster makes the
+    campaign's loss explicit.
+    """
+    policy = policy or RetryPolicy()
+    scenarios = tuple(scenarios)
+    directory, plan, labels, shard_scenarios, completed, scheduled = (
+        _prepare_campaign(scenarios, modules, checkpoint_dir, workers, num_shards)
+    )
+    report = OrchestrationReport(
+        num_shards=plan.num_shards, workers=workers, policy=policy.to_dict()
+    )
+    timings: list[ShardTiming] = []
+
+    def spec_for(index: int, attempt: int, in_process: bool) -> dict:
+        spec = _shard_spec(
+            index, directory, plan, builders_provider, shard_scenarios,
+            models, modules, max_cycles, retries, audit, engine,
+        )
+        spec["attempt"] = attempt
+        spec["in_process"] = in_process
+        if chaos is not None:
+            spec["chaos"] = chaos
+        return spec
+
+    def submit(pool, index, attempt):
+        return pool.submit(
+            _campaign_shard_worker, spec_for(index, attempt, False)
+        )
+
+    def run_inline(index, attempt):
+        return _campaign_shard_worker(spec_for(index, attempt, True))
+
+    def on_complete(index, raw):
+        _, outcomes, seconds = raw
+        completed[index] = {
+            label: ScenarioOutcome.from_dict(data)
+            for label, data in outcomes.items()
+        }
+        timings.append(
+            ShardTiming(
+                index=index,
+                items=len(shard_scenarios[index]),
+                seconds=seconds,
+            )
+        )
+        if on_shard is not None:
+            on_shard(index, completed[index])
+
+    _supervise(
+        scheduled, submit, run_inline, workers, policy, telemetry,
+        report, on_complete,
+    )
+
+    quarantined_shards = tuple(report.quarantined)
+    quarantined_labels = tuple(
+        label
+        for index in quarantined_shards
+        for label in plan.labels[index]
+    )
+    timings.sort(key=lambda t: t.index)
+    _record_shard_metrics(metrics, "faultsim.campaign", timings)
+    _record_orchestrator_metrics(metrics, report)
+    if metrics is not None:
+        metrics.record_host("faultsim.campaign.scenarios", len(scenarios))
+        metrics.record_host("faultsim.campaign.workers", workers)
+    report.save(directory / ORCHESTRATION_REPORT_NAME)
+    if quarantined_shards and not policy.allow_partial:
+        raise OrchestrationError(
+            f"campaign quarantined shard(s) {list(quarantined_shards)} "
+            f"covering scenarios {list(quarantined_labels)}; report at "
+            f"{directory / ORCHESTRATION_REPORT_NAME} "
+            "(pass allow_partial=True to accept a partial campaign)"
+        )
+    ordered = _merge_campaign_outcomes(
+        labels, completed, missing_ok=quarantined_labels
+    )
+    return PartialCampaignResult(
+        outcomes=ordered,
+        shard_timings=timings,
+        num_shards=plan.num_shards,
+        workers=workers,
+        scheduled=tuple(scheduled),
+        quarantined_shards=quarantined_shards,
+        quarantined_labels=quarantined_labels,
+        report=report,
+    )

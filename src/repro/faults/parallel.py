@@ -48,8 +48,11 @@ from repro.faults.campaign import (
     CHECKPOINT_VERSION,
     CampaignCheckpoint,
     ScenarioOutcome,
+    content_digest,
     merge_outcome_maps,
+    quarantine_corrupt_file,
     run_checkpointed_campaign,
+    verify_payload,
 )
 from repro.faults.netlist import Netlist
 from repro.faults.ppsfp import DropSet, FaultSimResult, PatternSet, fault_simulate
@@ -238,6 +241,10 @@ def _simulate_shard(
     shard: list,
     engine: str = "compiled",
     dropped_ids: list[str] | None = None,
+    chaos=None,
+    shard_index: int = 0,
+    attempt: int = 1,
+    in_process: bool = False,
 ):
     """Process-pool entry point: grade one fault shard serially.
 
@@ -247,7 +254,16 @@ def _simulate_shard(
     faults are sharded by the same ``stable_id`` the drop set is keyed
     on, a fault's drop state never crosses shards — any geometry drops
     exactly like the serial path.
+
+    ``chaos``/``shard_index``/``attempt`` belong to the supervised
+    orchestrator: the :class:`~repro.faults.chaos.ChaosPolicy` fires a
+    deterministic injected failure at shard entry when its directive
+    matches this (shard, attempt) pair, and ``in_process`` downgrades
+    process-level misbehaviour when the orchestrator has degraded to
+    serial execution.
     """
+    if chaos is not None:
+        chaos.fire(shard_index, attempt, in_process=in_process)
     start = time.perf_counter()
     dropped = DropSet(dropped_ids) if dropped_ids is not None else None
     if kind == "stuckat":
@@ -295,9 +311,10 @@ def _parallel_simulate(
             for shard in shards
         ]
     else:
-        with ProcessPoolExecutor(
+        pool = ProcessPoolExecutor(
             max_workers=min(workers, len(shards)), mp_context=_pool_context()
-        ) as pool:
+        )
+        try:
             futures = [
                 pool.submit(
                     _simulate_shard, kind, netlist, patterns, shard,
@@ -306,6 +323,16 @@ def _parallel_simulate(
                 for shard in shards
             ]
             raw = [future.result() for future in futures]
+        except BaseException:
+            # A failing shard must not leave the rest of the pool
+            # grinding through compiled-netlist shards nobody will
+            # read: drop queued work and return without waiting for
+            # in-flight shards (their processes exit once the queue is
+            # drained).
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+        else:
+            pool.shutdown(wait=True)
     results = []
     for index, (result_dict, seconds, new_ids) in enumerate(raw):
         results.append(FaultSimResult.from_dict(result_dict))
@@ -484,6 +511,15 @@ def _campaign_shard_worker(spec: dict):
     just a smaller scenario list.
     """
     start = time.perf_counter()
+    chaos = spec.get("chaos")
+    attempt = spec.get("attempt", 1)
+    in_process = spec.get("in_process", False)
+    on_scenario = None
+    if chaos is not None:
+        chaos.fire(spec["index"], attempt, in_process=in_process)
+        on_scenario = chaos.progress_hook(
+            spec["index"], attempt, in_process=in_process
+        )
     builders = spec["provider"]()
     outcomes = run_checkpointed_campaign(
         builders,
@@ -494,6 +530,7 @@ def _campaign_shard_worker(spec: dict):
         max_cycles=spec["max_cycles"],
         retries=spec["retries"],
         audit=spec["audit"],
+        on_scenario=on_scenario,
         engine=spec.get("engine", "compiled"),
     )
     return (
@@ -504,12 +541,28 @@ def _campaign_shard_worker(spec: dict):
 
 
 def _load_manifest(path: Path) -> CampaignShardPlan | None:
+    """Load + verify the shard-layout manifest.
+
+    Corruption (unreadable bytes, bad JSON, digest mismatch) quarantines
+    the file to a ``.corrupt`` sidecar with a warning and returns None —
+    the campaign re-plans, and because :func:`plan_campaign_shards` is a
+    pure function of (scenarios, num_shards) a re-planned layout with
+    the same shard count re-adopts every existing shard checkpoint.
+    Version mismatches still raise: that is an incompatibility, not rot.
+    """
     if not path.exists():
         return None
     try:
         data = json.loads(path.read_text())
-    except (OSError, json.JSONDecodeError) as exc:
-        raise CheckpointError(f"unreadable campaign manifest {path}: {exc}")
+    # ValueError covers JSONDecodeError and the UnicodeDecodeError that
+    # non-UTF-8 garbage raises before the parser even runs.
+    except (OSError, ValueError) as exc:
+        quarantine_corrupt_file(path, f"unreadable: {exc}")
+        return None
+    reason = verify_payload(path, data)
+    if reason is not None:
+        quarantine_corrupt_file(path, reason)
+        return None
     if data.get("version") != CHECKPOINT_VERSION:
         raise CheckpointError(
             f"campaign manifest {path} has version {data.get('version')!r}, "
@@ -519,53 +572,28 @@ def _load_manifest(path: Path) -> CampaignShardPlan | None:
 
 
 def _save_manifest(path: Path, plan: CampaignShardPlan) -> None:
+    data = plan.to_dict()
+    data["digest"] = content_digest(data)
     tmp = path.with_suffix(f".tmp.{os.getpid()}")
-    tmp.write_text(json.dumps(plan.to_dict(), indent=2) + "\n")
+    tmp.write_text(json.dumps(data, indent=2) + "\n")
     os.replace(tmp, path)
 
 
-def run_parallel_checkpointed_campaign(
-    builders_provider,
+def _prepare_campaign(
     scenarios,
-    models,
+    modules: tuple[str, ...],
     checkpoint_dir: str | Path,
-    modules: tuple[str, ...] = ("FWD",),
-    *,
-    workers: int = 1,
-    num_shards: int | None = None,
-    max_cycles: int = 4_000_000,
-    retries: int = 1,
-    audit: bool = False,
-    metrics=None,
-    on_shard=None,
-    engine: str = "compiled",
-) -> ParallelCampaignResult:
-    """Sharded, multi-process :func:`run_checkpointed_campaign`.
+    workers: int,
+    num_shards: int | None,
+):
+    """Validate, pin/load the manifest, and scan shard checkpoints.
 
-    ``builders_provider`` is a zero-argument *picklable* callable (a
-    module-level function or :func:`functools.partial` of one) returning
-    the core-id -> program-builder dict; it is invoked inside each
-    worker so closures never cross the process boundary.  Scenarios are
-    partitioned into ``num_shards`` deterministic shards (stable hash
-    of the scenario label; default ``min(len(scenarios), 4 * workers)``)
-    and each shard runs the ordinary serial supervised campaign against
-    its own checkpoint file under ``checkpoint_dir``.
-
-    The shard layout is pinned in ``manifest.json`` on first run;
-    resuming re-validates the manifest (modules, scenario set), loads
-    every shard checkpoint, and re-schedules **only incomplete
-    shards** — with any worker count, which is why a campaign started
-    with N workers can be finished with M.  Scenario outcomes are
-    deterministic per scenario (fresh SoC, no cross-scenario state), so
-    the merged result is bit-identical for every (workers, num_shards)
-    geometry, including the exact-serial ``workers=1`` path.
-
-    ``on_shard(index, outcomes)`` fires in the parent as each shard
-    completes (kill-injection hook); ``metrics`` receives per-shard
-    timing/throughput host counters.  ``engine`` selects the
-    fault-simulation kernel inside every worker (compiled by default;
-    results are bit-identical across engines, so resuming a campaign
-    with a different engine than it started with is legal).
+    Shared between the plain parallel campaign and the supervised
+    orchestrator so both resume from exactly the same on-disk state.
+    Returns ``(directory, plan, labels, shard_scenarios, completed,
+    scheduled)`` where ``completed`` maps already-finished shard indices
+    to their outcome maps and ``scheduled`` lists the shard indices
+    still owing work.
     """
     scenarios = tuple(scenarios)
     labels = [scenario.label for scenario in scenarios]
@@ -626,20 +654,151 @@ def run_parallel_checkpointed_campaign(
             scheduled.append(index)
         else:
             completed[index] = {}
+    return directory, plan, labels, shard_scenarios, completed, scheduled
 
+
+def _shard_spec(
+    index: int,
+    directory: Path,
+    plan: CampaignShardPlan,
+    builders_provider,
+    shard_scenarios,
+    models,
+    modules: tuple[str, ...],
+    max_cycles: int,
+    retries: int,
+    audit: bool,
+    engine: str,
+) -> dict:
+    """The picklable work order for one campaign shard."""
+    return {
+        "index": index,
+        "provider": builders_provider,
+        "scenarios": shard_scenarios[index],
+        "models": models,
+        "checkpoint_path": str(directory / plan.checkpoint_name(index)),
+        "modules": tuple(modules),
+        "max_cycles": max_cycles,
+        "retries": retries,
+        "audit": audit,
+        "engine": engine,
+    }
+
+
+def _merge_campaign_outcomes(
+    labels, completed, *, missing_ok=()
+) -> dict[str, ScenarioOutcome]:
+    """Merge per-shard outcome maps into caller scenario order.
+
+    ``missing_ok`` names labels allowed to be absent (the quarantined
+    shards of a partial supervised campaign); any other gap is a bug
+    and raises.
+    """
+    merged = merge_outcome_maps(completed.values())
+    allowed = set(missing_ok)
+    missing = [
+        label for label in labels
+        if label not in merged and label not in allowed
+    ]
+    if missing:
+        raise CheckpointError(
+            f"campaign finished with unaccounted scenarios {missing[:5]}"
+        )
+    return {label: merged[label] for label in labels if label in merged}
+
+
+def run_parallel_checkpointed_campaign(
+    builders_provider,
+    scenarios,
+    models,
+    checkpoint_dir: str | Path,
+    modules: tuple[str, ...] = ("FWD",),
+    *,
+    workers: int = 1,
+    num_shards: int | None = None,
+    max_cycles: int = 4_000_000,
+    retries: int = 1,
+    audit: bool = False,
+    metrics=None,
+    on_shard=None,
+    engine: str = "compiled",
+    policy=None,
+    chaos=None,
+    telemetry=None,
+) -> ParallelCampaignResult:
+    """Sharded, multi-process :func:`run_checkpointed_campaign`.
+
+    ``builders_provider`` is a zero-argument *picklable* callable (a
+    module-level function or :func:`functools.partial` of one) returning
+    the core-id -> program-builder dict; it is invoked inside each
+    worker so closures never cross the process boundary.  Scenarios are
+    partitioned into ``num_shards`` deterministic shards (stable hash
+    of the scenario label; default ``min(len(scenarios), 4 * workers)``)
+    and each shard runs the ordinary serial supervised campaign against
+    its own checkpoint file under ``checkpoint_dir``.
+
+    The shard layout is pinned in ``manifest.json`` on first run;
+    resuming re-validates the manifest (modules, scenario set), loads
+    every shard checkpoint, and re-schedules **only incomplete
+    shards** — with any worker count, which is why a campaign started
+    with N workers can be finished with M.  Scenario outcomes are
+    deterministic per scenario (fresh SoC, no cross-scenario state), so
+    the merged result is bit-identical for every (workers, num_shards)
+    geometry, including the exact-serial ``workers=1`` path.
+
+    ``on_shard(index, outcomes)`` fires in the parent as each shard
+    completes (kill-injection hook); ``metrics`` receives per-shard
+    timing/throughput host counters.  ``engine`` selects the
+    fault-simulation kernel inside every worker (compiled by default;
+    results are bit-identical across engines, so resuming a campaign
+    with a different engine than it started with is legal).
+
+    ``policy`` (a :class:`repro.faults.orchestrator.RetryPolicy`)
+    switches the run onto the supervised orchestrator: shard failures
+    are retried with deterministic backoff, a broken pool is rebuilt,
+    stragglers are re-dispatched, and persistent failures quarantine the
+    shard instead of aborting — the result is then a
+    :class:`~repro.faults.orchestrator.PartialCampaignResult` (a
+    ``ParallelCampaignResult`` subtype).  ``chaos`` and ``telemetry``
+    ride along to the orchestrator (failure injection for tests, event
+    sink for ``shard.retry``/``pool.rebuild``/... events).
+    """
+    if policy is not None:
+        # The supervised path owns the whole run, including the pool.
+        from repro.faults.orchestrator import run_supervised_campaign
+
+        return run_supervised_campaign(
+            builders_provider,
+            scenarios,
+            models,
+            checkpoint_dir,
+            modules=modules,
+            workers=workers,
+            num_shards=num_shards,
+            max_cycles=max_cycles,
+            retries=retries,
+            audit=audit,
+            metrics=metrics,
+            on_shard=on_shard,
+            engine=engine,
+            policy=policy,
+            chaos=chaos,
+            telemetry=telemetry,
+        )
+    if chaos is not None or telemetry is not None:
+        raise CheckpointError(
+            "chaos/telemetry require a RetryPolicy (the supervised path); "
+            "the plain parallel campaign has no failure handling to observe"
+        )
+    scenarios = tuple(scenarios)
+    directory, plan, labels, shard_scenarios, completed, scheduled = (
+        _prepare_campaign(scenarios, modules, checkpoint_dir, workers, num_shards)
+    )
     specs = [
-        {
-            "index": index,
-            "provider": builders_provider,
-            "scenarios": shard_scenarios[index],
-            "models": models,
-            "checkpoint_path": str(directory / plan.checkpoint_name(index)),
-            "modules": tuple(modules),
-            "max_cycles": max_cycles,
-            "retries": retries,
-            "audit": audit,
-            "engine": engine,
-        }
+        _shard_spec(
+            index, directory, plan, builders_provider, shard_scenarios,
+            models, modules, max_cycles, retries, audit, engine,
+        )
         for index in scheduled
     ]
     timings: list[ShardTiming] = []
@@ -658,49 +817,48 @@ def run_parallel_checkpointed_campaign(
             if on_shard is not None:
                 on_shard(index, completed[index])
     elif specs:
-        with ProcessPoolExecutor(
+        pool = ProcessPoolExecutor(
             max_workers=min(workers, len(specs)), mp_context=_pool_context()
-        ) as pool:
+        )
+        try:
             futures = {
                 pool.submit(_campaign_shard_worker, spec): spec for spec in specs
             }
             pending = set(futures)
-            try:
-                while pending:
-                    done, pending = wait(pending, return_when=FIRST_EXCEPTION)
-                    for future in done:
-                        index, outcomes, seconds = future.result()
-                        completed[index] = {
-                            label: ScenarioOutcome.from_dict(data)
-                            for label, data in outcomes.items()
-                        }
-                        timings.append(
-                            ShardTiming(
-                                index=index,
-                                items=len(futures[future]["scenarios"]),
-                                seconds=seconds,
-                            )
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_EXCEPTION)
+                for future in done:
+                    index, outcomes, seconds = future.result()
+                    completed[index] = {
+                        label: ScenarioOutcome.from_dict(data)
+                        for label, data in outcomes.items()
+                    }
+                    timings.append(
+                        ShardTiming(
+                            index=index,
+                            items=len(futures[future]["scenarios"]),
+                            seconds=seconds,
                         )
-                        if on_shard is not None:
-                            on_shard(index, completed[index])
-            except BaseException:
-                for future in pending:
-                    future.cancel()
-                raise
+                    )
+                    if on_shard is not None:
+                        on_shard(index, completed[index])
+        except BaseException:
+            # Unwind without waiting: queued shards are cancelled and
+            # the pool is released immediately so a failing campaign
+            # does not keep workers (and their compiled netlists) alive
+            # behind the raised error.
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+        else:
+            pool.shutdown(wait=True)
     timings.sort(key=lambda t: t.index)
     _record_shard_metrics(metrics, "faultsim.campaign", timings)
     if metrics is not None:
         metrics.record_host("faultsim.campaign.scenarios", len(scenarios))
         metrics.record_host("faultsim.campaign.workers", workers)
-    merged = merge_outcome_maps(completed.values())
-    missing = [label for label in labels if label not in merged]
-    if missing:
-        raise CheckpointError(
-            f"campaign finished with unaccounted scenarios {missing[:5]}"
-        )
     # Present outcomes in the caller's scenario order, like the serial
     # campaign's insertion-ordered checkpoint dict.
-    ordered = {label: merged[label] for label in labels}
+    ordered = _merge_campaign_outcomes(labels, completed)
     return ParallelCampaignResult(
         outcomes=ordered,
         shard_timings=timings,

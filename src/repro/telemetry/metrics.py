@@ -112,6 +112,20 @@ class MetricsView:
             if key_core == core
         )
 
+    def host_subset(self, prefix: str) -> dict[str, int]:
+        """Host counters under a dotted prefix, with the prefix stripped.
+
+        ``host_subset("faultsim.orchestrator")`` returns e.g.
+        ``{"attempts": 5, "failures": 1, ...}`` — the shape reports and
+        tests want, without every consumer re-implementing the split.
+        """
+        lead = prefix.rstrip(".") + "."
+        return {
+            name[len(lead):]: value
+            for name, value in sorted(self.host.items())
+            if name.startswith(lead)
+        }
+
     def cache_names(self) -> tuple[str, ...]:
         names = sorted(
             {
@@ -269,6 +283,14 @@ class MetricsCollector:
             self._bump(core, "supervisor.retries")
         elif kind is EventKind.SUPERVISOR_QUARANTINE:
             self._bump(core, "supervisor.quarantines")
+        elif kind is EventKind.SHARD_RETRY:
+            self.record_host("orchestrator.shard_retries")
+        elif kind is EventKind.SHARD_STRAGGLER:
+            self.record_host("orchestrator.stragglers")
+        elif kind is EventKind.SHARD_QUARANTINE:
+            self.record_host("orchestrator.quarantines")
+        elif kind is EventKind.POOL_REBUILD:
+            self.record_host("orchestrator.pool_rebuilds")
         else:
             # Phase-transition events carry no counters of their own.
             self._tracker.on_event(event)

@@ -7,7 +7,7 @@ import pytest
 from repro.core import cache_wrapped_builder
 from repro.core.determinism import Scenario
 from repro.cpu.core import CORE_MODEL_A, CORE_MODEL_B
-from repro.errors import CheckpointError
+from repro.errors import CheckpointCorruptionWarning, CheckpointError
 from repro.faults import (
     CampaignCheckpoint,
     ScenarioOutcome,
@@ -129,11 +129,18 @@ def test_unknown_module_is_rejected(tmp_path):
 # ----------------------------------------------------------------------
 
 
-def test_checkpoint_rejects_garbage_file(tmp_path):
+def test_checkpoint_quarantines_garbage_file(tmp_path):
+    """Rotted bytes are corruption, not a caller error: the file moves
+    to a .corrupt sidecar with a warning and the checkpoint starts
+    empty (the shard recomputes; the evidence survives)."""
     path = tmp_path / "c.json"
     path.write_text("not json {")
-    with pytest.raises(CheckpointError):
-        CampaignCheckpoint(path, ("FWD",))
+    with pytest.warns(CheckpointCorruptionWarning, match="unreadable"):
+        checkpoint = CampaignCheckpoint(path, ("FWD",))
+    assert checkpoint.outcomes == {}
+    sidecar = tmp_path / "c.json.corrupt"
+    assert sidecar.read_text() == "not json {"
+    assert not path.exists()
 
 
 def test_checkpoint_rejects_version_mismatch(tmp_path):

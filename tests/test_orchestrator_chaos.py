@@ -1,0 +1,435 @@
+"""Chaos-injection proof of the supervised orchestrator's contract.
+
+The invariant under test: a campaign or fault-simulation run under
+injected infrastructure failure — worker kills, transient exceptions,
+hung shards, corrupted checkpoint bytes — merges to results
+**bit-identical** to a clean run whenever no shard ends quarantined.
+Retries, pool rebuilds and straggler re-dispatch are allowed to cost
+wall-clock; they are never allowed to change a number.
+
+A poison shard (fails every attempt) is the complement: the campaign
+must *complete* anyway, with the loss enumerated — an explicit
+quarantine roster, outcomes for exactly the surviving scenarios, and a
+distinct :class:`~repro.errors.OrchestrationError` when the caller did
+not opt into partial results.
+
+The chaos decisions themselves are pure functions of (shard, attempt),
+so the orchestrator's decision sequence is deterministic too — pinned
+via :meth:`OrchestrationReport.stable_dict` across repeated runs.
+"""
+
+import json
+
+import pytest
+
+from repro.core.determinism import Scenario, run_scenario
+from repro.cpu.core import CORE_MODEL_A
+from repro.errors import (
+    CheckpointCorruptionWarning,
+    CheckpointError,
+    OrchestrationError,
+)
+from repro.faults import (
+    ChaosError,
+    ChaosPolicy,
+    PartialCampaignResult,
+    RetryPolicy,
+    ShardChaos,
+    fault_simulate,
+    get_modules,
+    orchestrated_fault_simulate,
+    run_parallel_checkpointed_campaign,
+    shard_faults,
+)
+from repro.faults.chaos import corrupt_file
+from repro.faults.observability import forwarding_pattern_sets
+from repro.faults.orchestrator import ORCHESTRATION_REPORT_NAME, OrchestrationReport
+from repro.faults.parallel import MANIFEST_NAME
+from repro.faults.stuckat import enumerate_faults
+from repro.faults.workload import DEFAULT_CAMPAIGN_MODELS, small_provider
+from repro.soc import CodeAlignment, CodePosition
+from repro.telemetry.events import EventKind, RecordingSink
+from repro.telemetry.metrics import MetricsCollector
+
+SCENARIOS = (
+    Scenario((0, 1), CodePosition.LOW, CodeAlignment.QWORD),
+    Scenario((0, 1), CodePosition.MID, CodeAlignment.WORD),
+)
+
+WORKER_COUNTS = (1, 2, 4)
+
+#: Fast retry policy shared by the happy-path chaos runs.
+FAST = dict(max_retries=2, backoff_base=0.01, seed=11)
+
+
+def fast_policy(**overrides):
+    return RetryPolicy(**{**FAST, **overrides})
+
+
+def outcome_dicts(result):
+    return {label: o.to_dict() for label, o in result.outcomes.items()}
+
+
+def run_campaign(directory, *, chaos=None, policy=None, **kwargs):
+    kwargs.setdefault("modules", ("FWD",))
+    kwargs.setdefault("workers", 2)
+    kwargs.setdefault("num_shards", 2)
+    return run_parallel_checkpointed_campaign(
+        small_provider(), SCENARIOS, DEFAULT_CAMPAIGN_MODELS, directory,
+        chaos=chaos, policy=policy, **kwargs,
+    )
+
+
+@pytest.fixture(scope="module")
+def campaign_reference(tmp_path_factory):
+    """The clean, unsupervised campaign every chaos run must reproduce."""
+    result = run_campaign(
+        tmp_path_factory.mktemp("reference"), workers=1, num_shards=2
+    )
+    return outcome_dicts(result)
+
+
+@pytest.fixture(scope="module")
+def fwd_port(tmp_path_factory):
+    """A real forwarding-port netlist + patterns and a clipped fault
+    list (keeps the engine matrix affordable on one CPU)."""
+    builders = small_provider()()
+    result = run_scenario(builders, SCENARIOS[0])
+    modules = get_modules(CORE_MODEL_A)
+    log = result.per_core[0].log
+    merged = forwarding_pattern_sets(log, modules)
+    port = sorted(merged)[0]
+    netlist, patterns = modules.forwarding[port], merged[port]
+    faults = enumerate_faults(netlist)[:400]
+    return netlist, patterns, faults
+
+
+@pytest.fixture(scope="module")
+def sim_reference(fwd_port):
+    netlist, patterns, faults = fwd_port
+    return {
+        engine: fault_simulate(
+            netlist, patterns, faults, engine=engine
+        ).to_dict()
+        for engine in ("compiled", "interpreted")
+    }
+
+
+def campaign_chaos(kind):
+    """Shard-0 directive for one named campaign chaos case."""
+    if kind == "transient":
+        return ShardChaos(kind="transient", failures=1)
+    if kind == "kill":
+        return ShardChaos(kind="kill", failures=1)
+    if kind == "kill-mid-shard":
+        # The kill lands after one scenario is durably checkpointed:
+        # the retry must resume, not re-grade (nor double-count).
+        return ShardChaos(kind="kill", failures=1, after_items=1)
+    if kind == "hang":
+        return ShardChaos(kind="hang", failures=1, hang_seconds=30.0)
+    raise AssertionError(kind)
+
+
+# ----------------------------------------------------------------------
+# The headline invariant: chaos campaigns merge bit-identically.
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+@pytest.mark.parametrize(
+    "kind", ("transient", "kill", "kill-mid-shard", "hang")
+)
+def test_chaos_campaign_is_bit_identical(
+    tmp_path, campaign_reference, kind, workers
+):
+    chaos = ChaosPolicy({0: campaign_chaos(kind)})
+    policy = fast_policy(
+        shard_timeout=1.0 if kind == "hang" else None
+    )
+    result = run_campaign(
+        tmp_path / "campaign", chaos=chaos, policy=policy, workers=workers
+    )
+    assert isinstance(result, PartialCampaignResult)
+    assert result.complete
+    assert result.quarantined_shards == ()
+    assert outcome_dicts(result) == campaign_reference
+    # The per-scenario attempt counters must match a clean run too:
+    # a shard retry re-runs infrastructure, never re-grades scenarios.
+    assert {
+        label: data["attempts"]
+        for label, data in outcome_dicts(result).items()
+    } == {
+        label: data["attempts"]
+        for label, data in campaign_reference.items()
+    }
+    failures = [a for a in result.report.attempts if a.status != "ok"]
+    if kind in ("transient", "hang"):
+        assert failures, "chaos did not fire"
+    else:
+        # A kill breaks the pool; the charge lands only if the shard
+        # breaks it again *in isolation* (here failures=1 means the
+        # isolated re-run succeeds), but the rebuild always happens.
+        assert result.report.pool_rebuilds >= 1
+    if kind == "hang":
+        assert result.report.stragglers >= 1
+
+
+@pytest.mark.parametrize("engine", ("compiled", "interpreted"))
+@pytest.mark.parametrize("kind", ("transient", "kill", "hang"))
+def test_chaos_faultsim_is_bit_identical(
+    fwd_port, sim_reference, engine, kind
+):
+    netlist, patterns, faults = fwd_port
+    directive = (
+        ShardChaos(kind="hang", failures=1, hang_seconds=30.0)
+        if kind == "hang"
+        else ShardChaos(kind=kind, failures=1)
+    )
+    res = orchestrated_fault_simulate(
+        netlist, patterns, faults, workers=2, num_shards=3,
+        policy=fast_policy(shard_timeout=2.0 if kind == "hang" else None),
+        chaos=ChaosPolicy({1: directive}),
+        engine=engine,
+    )
+    assert res.complete
+    assert res.result.to_dict() == sim_reference[engine]
+
+
+def test_chaos_decision_sequence_is_deterministic(
+    tmp_path, campaign_reference
+):
+    """Two runs under the same chaos + retry policies make the same
+    decisions: equal stable report projections, equal outcomes."""
+    chaos = ChaosPolicy(
+        {
+            0: ShardChaos(kind="transient", failures=2),
+            1: ShardChaos(kind="kill", failures=1),
+        }
+    )
+    reports = []
+    for name in ("a", "b"):
+        result = run_campaign(
+            tmp_path / name, chaos=chaos, policy=fast_policy()
+        )
+        assert outcome_dicts(result) == campaign_reference
+        reports.append(result.report.stable_dict())
+    assert reports[0] == reports[1]
+
+
+# ----------------------------------------------------------------------
+# Poison shards: quarantine, explicit accounting, distinct error.
+# ----------------------------------------------------------------------
+
+
+def test_poison_shard_completes_campaign_with_quarantine_roster(
+    tmp_path, campaign_reference
+):
+    chaos = ChaosPolicy({1: ShardChaos(kind="transient", failures=None)})
+    result = run_campaign(
+        tmp_path / "campaign",
+        chaos=chaos,
+        policy=fast_policy(max_retries=1, allow_partial=True),
+    )
+    assert not result.complete
+    assert result.quarantined_shards == (1,)
+    # Surviving scenarios carry clean-run outcomes; lost ones are
+    # enumerated, not silently dropped from the denominator.
+    survivors = set(result.outcomes)
+    lost = set(result.quarantined_labels)
+    assert survivors.isdisjoint(lost)
+    assert survivors | lost == {s.label for s in SCENARIOS}
+    for label in survivors:
+        assert outcome_dicts(result)[label] == campaign_reference[label]
+    # The quarantined shard burned max_retries + 1 attempts.
+    attempts = [a for a in result.report.attempts if a.shard == 1]
+    assert [a.status for a in attempts] == ["error", "error"]
+
+
+def test_poison_without_allow_partial_raises_orchestration_error(tmp_path):
+    chaos = ChaosPolicy({1: ShardChaos(kind="transient", failures=None)})
+    with pytest.raises(OrchestrationError, match="quarantined shard"):
+        run_campaign(
+            tmp_path / "campaign",
+            chaos=chaos,
+            policy=fast_policy(max_retries=1),
+        )
+    # The report still landed next to the manifest for post-mortem.
+    report_path = tmp_path / "campaign" / ORCHESTRATION_REPORT_NAME
+    assert report_path.exists()
+    report = OrchestrationReport.from_dict(
+        json.loads(report_path.read_text())
+    )
+    assert report.quarantined == [1]
+
+
+def test_poison_faultsim_reports_coverage_lower_bound(
+    fwd_port, sim_reference
+):
+    netlist, patterns, faults = fwd_port
+    chaos = ChaosPolicy({2: ShardChaos(kind="transient", failures=None)})
+    res = orchestrated_fault_simulate(
+        netlist, patterns, faults, workers=2, num_shards=3,
+        policy=fast_policy(max_retries=1, allow_partial=True),
+        chaos=chaos,
+    )
+    assert res.quarantined_shards == (2,)
+    lost = len(shard_faults(faults, 3)[2])
+    assert res.quarantined_faults == lost
+    # Same denominator as the clean run, detections only from the
+    # surviving shards: a floor, never an overstatement.
+    clean = sim_reference["compiled"]
+    assert res.result.total_faults == clean["total_faults"]
+    assert res.result.detected_faults <= clean["detected_faults"]
+
+    with pytest.raises(OrchestrationError, match="allow_partial"):
+        orchestrated_fault_simulate(
+            netlist, patterns, faults, workers=2, num_shards=3,
+            policy=fast_policy(max_retries=1),
+            chaos=chaos,
+        )
+
+
+# ----------------------------------------------------------------------
+# Checkpoint corruption under supervision.
+# ----------------------------------------------------------------------
+
+
+def test_corrupted_checkpoints_recover_under_supervision(
+    tmp_path, campaign_reference
+):
+    """Corrupt both a shard checkpoint and the manifest of a finished
+    campaign, then resume supervised *with* chaos on the recomputed
+    shard: quarantine of the rotted bytes + retry of the injected
+    failure still converge to the clean outcomes."""
+    directory = tmp_path / "campaign"
+    run_campaign(directory, policy=fast_policy())
+    corrupt_file(directory / "shard_000.json", "tamper")
+    corrupt_file(directory / MANIFEST_NAME, "truncate")
+    chaos = ChaosPolicy({0: ShardChaos(kind="transient", failures=1)})
+    with pytest.warns(CheckpointCorruptionWarning):
+        result = run_campaign(
+            directory, chaos=chaos, policy=fast_policy()
+        )
+    assert result.complete
+    assert outcome_dicts(result) == campaign_reference
+    retried = [a for a in result.report.attempts if a.status != "ok"]
+    assert retried and all(a.shard == 0 for a in retried)
+
+
+# ----------------------------------------------------------------------
+# Degraded serial endgame.
+# ----------------------------------------------------------------------
+
+
+def test_repeated_pool_death_degrades_to_serial(
+    tmp_path, campaign_reference
+):
+    chaos = ChaosPolicy({0: ShardChaos(kind="kill", failures=3)})
+    result = run_campaign(
+        tmp_path / "campaign",
+        chaos=chaos,
+        policy=fast_policy(max_retries=5, max_pool_rebuilds=1),
+    )
+    assert result.report.degraded_serial
+    assert any(a.in_process for a in result.report.attempts)
+    # In-process, the kill downgrades to a raised ChaosError (the host
+    # must survive); semantics are otherwise unchanged.
+    assert any(
+        a.error and "ChaosError" in a.error
+        for a in result.report.attempts
+    )
+    assert result.complete
+    assert outcome_dicts(result) == campaign_reference
+
+
+# ----------------------------------------------------------------------
+# Deterministic backoff.
+# ----------------------------------------------------------------------
+
+
+def test_backoff_schedule_is_a_pure_function():
+    a = RetryPolicy(max_retries=4, backoff_base=0.05, seed=9)
+    b = RetryPolicy(max_retries=4, backoff_base=0.05, seed=9)
+    for shard in range(8):
+        assert a.backoff_schedule(shard) == b.backoff_schedule(shard)
+    # Different seeds / shards de-synchronise the jitter.
+    c = RetryPolicy(max_retries=4, backoff_base=0.05, seed=10)
+    assert any(
+        a.backoff_schedule(s) != c.backoff_schedule(s) for s in range(8)
+    )
+    assert a.backoff_schedule(0) != a.backoff_schedule(1)
+
+
+def test_backoff_grows_and_respects_cap():
+    policy = RetryPolicy(
+        max_retries=10, backoff_base=0.1, backoff_factor=2.0,
+        backoff_max=1.0, seed=3,
+    )
+    schedule = policy.backoff_schedule(0)
+    assert len(schedule) == 10
+    assert all(0.0 < delay <= 1.0 for delay in schedule)
+    assert schedule[-1] == 1.0  # capped
+    # Exponential growth before the cap bites.
+    uncapped = [d for d in schedule if d < 1.0]
+    assert uncapped == sorted(uncapped)
+
+
+# ----------------------------------------------------------------------
+# Telemetry + report plumbing.
+# ----------------------------------------------------------------------
+
+
+def test_orchestrator_emits_typed_events_and_metrics(tmp_path):
+    metrics = MetricsCollector()
+    sink = RecordingSink(subscribers=(metrics,))
+    chaos = ChaosPolicy({0: ShardChaos(kind="transient", failures=None)})
+    result = run_campaign(
+        tmp_path / "campaign",
+        chaos=chaos,
+        policy=fast_policy(max_retries=1, allow_partial=True),
+        telemetry=sink,
+        metrics=metrics,
+    )
+    kinds = [event.kind for event in sink.events]
+    assert kinds.count(EventKind.SHARD_RETRY) == 1
+    assert kinds.count(EventKind.SHARD_QUARANTINE) == 1
+    retry = next(e for e in sink.events if e.kind is EventKind.SHARD_RETRY)
+    assert retry.fields["shard"] == 0
+    assert retry.fields["delay"] > 0.0
+    host = metrics.snapshot().host_subset("faultsim.orchestrator")
+    assert host["attempts"] == len(result.report.attempts)
+    assert host["quarantined"] == 1
+    # The event-driven counters agree with the report.
+    event_host = metrics.snapshot().host_subset("orchestrator")
+    assert event_host["shard_retries"] == 1
+    assert event_host["quarantines"] == 1
+
+
+def test_report_round_trips_and_lands_on_disk(tmp_path):
+    chaos = ChaosPolicy({0: ShardChaos(kind="transient", failures=1)})
+    result = run_campaign(
+        tmp_path / "campaign", chaos=chaos, policy=fast_policy()
+    )
+    path = tmp_path / "campaign" / ORCHESTRATION_REPORT_NAME
+    loaded = OrchestrationReport.from_dict(json.loads(path.read_text()))
+    assert loaded.stable_dict() == result.report.stable_dict()
+    assert loaded.retried_shards == [0]
+    assert loaded.backoff[0] == fast_policy().backoff_schedule(0)
+
+
+def test_chaos_without_policy_is_rejected(tmp_path):
+    with pytest.raises(CheckpointError, match="require a RetryPolicy"):
+        run_campaign(
+            tmp_path / "campaign",
+            chaos=ChaosPolicy({0: ShardChaos()}),
+        )
+
+
+def test_chaos_error_escapes_scenario_supervision():
+    # The in-shard campaign supervisor contains ReproError; chaos must
+    # model the layer below it and reach the orchestrator.
+    from repro.errors import ReproError
+
+    assert not issubclass(ChaosError, ReproError)
+    with pytest.raises(ChaosError):
+        ChaosPolicy({0: ShardChaos()}).fire(0, 1, in_process=True)

@@ -13,7 +13,7 @@ from functools import partial
 import pytest
 
 from repro.core.determinism import Scenario
-from repro.errors import CheckpointError
+from repro.errors import CheckpointCorruptionWarning, CheckpointError
 from repro.faults import (
     CampaignCheckpoint,
     ScenarioOutcome,
@@ -279,9 +279,17 @@ def test_resume_rejects_different_scenario_set(tmp_path):
         )
 
 
-def test_garbage_manifest_is_rejected(tmp_path):
+def test_garbage_manifest_is_quarantined_and_replanned(tmp_path, reference):
+    """A rotted manifest is moved aside with a warning, not fatal: the
+    layout is a pure function of (scenarios, num_shards), so the
+    campaign re-plans and completes with the reference outcomes."""
     directory = tmp_path / "campaign"
     directory.mkdir()
     (directory / MANIFEST_NAME).write_text("not json {")
-    with pytest.raises(CheckpointError, match="unreadable campaign manifest"):
-        run_small(directory, modules=("FWD",), workers=1)
+    with pytest.warns(CheckpointCorruptionWarning, match="unreadable"):
+        result = run_small(directory, modules=("FWD",), workers=1)
+    sidecar = directory / (MANIFEST_NAME + ".corrupt")
+    assert sidecar.exists()
+    assert sidecar.read_text() == "not json {"  # evidence preserved
+    assert (directory / MANIFEST_NAME).exists()  # fresh, valid manifest
+    assert outcome_dicts(result.outcomes) == reference
